@@ -1,0 +1,84 @@
+// Command bpsim runs a branch predictor over synthetic benchmark traces
+// and reports accuracy and access statistics.
+//
+// Usage:
+//
+//	bpsim -model tage-lsc -scenario A -branches 1000000 [-trace INT01]
+//	bpsim -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"repro"
+)
+
+func main() {
+	model := flag.String("model", "tage", "predictor model (see -list)")
+	scenario := flag.String("scenario", "A", "update scenario: I, A, B or C")
+	traceName := flag.String("trace", "", "single trace to run (default: all 40)")
+	branches := flag.Int("branches", 500000, "branches per trace")
+	window := flag.Int("window", 24, "in-flight branch window")
+	list := flag.Bool("list", false, "list models and traces, then exit")
+	flag.Parse()
+
+	if *list {
+		var names []string
+		for name := range repro.Models() {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		fmt.Println("models: ", strings.Join(names, " "))
+		fmt.Println("traces: ", strings.Join(repro.TraceNames(), " "))
+		return
+	}
+
+	mk, ok := repro.Models()[*model]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown model %q (try -list)\n", *model)
+		os.Exit(1)
+	}
+	var sc repro.Scenario
+	switch strings.ToUpper(*scenario) {
+	case "I":
+		sc = repro.ScenarioI
+	case "A":
+		sc = repro.ScenarioA
+	case "B":
+		sc = repro.ScenarioB
+	case "C":
+		sc = repro.ScenarioC
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scenario %q\n", *scenario)
+		os.Exit(1)
+	}
+	opt := repro.Options{Scenario: sc, Window: *window}
+
+	names := repro.TraceNames()
+	if *traceName != "" {
+		names = []string{*traceName}
+	}
+	m := mk()
+	fmt.Printf("# model=%s storage=%dKbit scenario=%s branches/trace=%d\n",
+		m.Name(), m.StorageBits()/1024, sc, *branches)
+
+	suite := &repro.Suite{}
+	for _, name := range names {
+		tr := repro.GenerateTrace(name, *branches)
+		res := mk().Run(tr, opt)
+		suite.Add(res)
+		fmt.Printf("%-10s MPKI=%7.3f MPPKI=%8.2f mispredict=%5.2f%% accesses/branch=%.3f\n",
+			res.Trace, res.MPKI, res.MPPKI, 100*res.Misprediction,
+			res.Access.AccessesPerBranch())
+	}
+	if len(names) > 1 {
+		acc := suite.AccessTotals()
+		fmt.Printf("# suite: MPKI-sum=%.1f MPPKI-sum=%.0f silent-updates=%.1f%% writes/100br=%.2f\n",
+			suite.TotalMPKI(), suite.TotalMPPKI(),
+			100*acc.SilentFraction(), acc.WritesPer100Branches())
+	}
+}

@@ -1,0 +1,61 @@
+// Command bptables regenerates the paper's tables and figures
+// (experiments E1..E15, see DESIGN.md), printing paper-vs-measured rows
+// and the shape checks each experiment must satisfy.
+//
+// Usage:
+//
+//	bptables                    # run every experiment at the default scale
+//	bptables -exp E2,E11        # run a subset
+//	bptables -branches 1000000  # full-scale run
+//	bptables -markdown          # emit EXPERIMENTS.md-style markdown
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro"
+	"repro/internal/experiments"
+)
+
+func main() {
+	expFlag := flag.String("exp", "", "comma-separated experiment ids (default: all)")
+	branches := flag.Int("branches", 200000, "branches per trace")
+	markdown := flag.Bool("markdown", false, "emit markdown instead of text")
+	flag.Parse()
+
+	cfg := repro.ExperimentConfig{BranchesPerTrace: *branches}
+	ids := repro.ExperimentIDs()
+	if *expFlag != "" {
+		ids = strings.Split(*expFlag, ",")
+	}
+
+	failures := 0
+	start := time.Now()
+	for _, id := range ids {
+		t0 := time.Now()
+		rep, ok := repro.RunExperiment(strings.TrimSpace(id), cfg)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", id)
+			failures++
+			continue
+		}
+		if *markdown {
+			experiments.RenderMarkdown(os.Stdout, rep)
+		} else {
+			repro.RenderReport(os.Stdout, rep)
+			fmt.Printf("   (%.1fs)\n", time.Since(t0).Seconds())
+		}
+		if !rep.Passed() {
+			failures++
+		}
+	}
+	fmt.Printf("# total %.1fs, %d experiment(s) with failing shape checks\n",
+		time.Since(start).Seconds(), failures)
+	if failures > 0 {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,73 @@
+// Command tracegen synthesises benchmark traces, encodes them to the
+// binary trace format, and summarises trace files.
+//
+// Usage:
+//
+//	tracegen -name INT01 -branches 1000000 -o int01.bpt
+//	tracegen -summarize int01.bpt
+//	tracegen -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro"
+)
+
+func main() {
+	name := flag.String("name", "", "benchmark to generate (see -list)")
+	branches := flag.Int("branches", 1000000, "branches to generate")
+	out := flag.String("o", "", "output file (default: <name>.bpt)")
+	summarize := flag.String("summarize", "", "trace file to summarise")
+	list := flag.Bool("list", false, "list benchmark names")
+	flag.Parse()
+
+	switch {
+	case *list:
+		fmt.Println(strings.Join(repro.TraceNames(), "\n"))
+	case *summarize != "":
+		f, err := os.Open(*summarize)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		tr, err := repro.ReadTrace(f)
+		if err != nil {
+			fatal(err)
+		}
+		st := repro.SummarizeTrace(tr)
+		fmt.Printf("name=%s category=%s branches=%d micro-ops=%d static=%d taken=%.1f%%\n",
+			tr.Name, tr.Category, st.Branches, st.MicroOps, st.StaticBranches,
+			100*st.TakenFraction)
+	case *name != "":
+		tr := repro.GenerateTrace(*name, *branches)
+		path := *out
+		if path == "" {
+			path = strings.ToLower(*name) + ".bpt"
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			fatal(err)
+		}
+		if err := repro.WriteTrace(f, tr); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		st := repro.SummarizeTrace(tr)
+		fmt.Printf("wrote %s: %d branches, %d µops, %d static branches\n",
+			path, st.Branches, st.MicroOps, st.StaticBranches)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tracegen:", err)
+	os.Exit(1)
+}

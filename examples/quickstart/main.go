@@ -1,0 +1,40 @@
+// Quickstart: build the paper's reference TAGE predictor, feed it a few
+// branch behaviours interactively, then run it over a full synthetic
+// benchmark trace.
+package main
+
+import (
+	"fmt"
+
+	"repro"
+)
+
+func main() {
+	model := repro.ReferenceTAGE()
+	fmt.Printf("predictor: %s (%d Kbit)\n", model.Name(), model.StorageBits()/1024)
+
+	// Interactive use: a loop branch taken 9 times then not taken. After a
+	// few executions TAGE predicts the whole loop, including the exit.
+	s := model.NewSession()
+	const loopPC = 0x400100
+	train := func(rounds int) (mispredicts int) {
+		for r := 0; r < rounds; r++ {
+			for i := 0; i < 10; i++ {
+				taken := i < 9
+				if s.Predict(loopPC) != taken {
+					mispredicts++
+				}
+				s.Train(loopPC, taken)
+			}
+		}
+		return
+	}
+	fmt.Printf("loop branch, first 20 executions: %d mispredicts\n", train(20))
+	fmt.Printf("loop branch, next 20 executions:  %d mispredicts\n", train(20))
+
+	// Whole-trace simulation with retire-time update (scenario A).
+	tr := repro.GenerateTrace("MM01", 300000)
+	res := model.Run(tr, repro.Options{Scenario: repro.ScenarioA})
+	fmt.Printf("trace %s: %d branches, MPKI=%.3f, misprediction rate=%.2f%%\n",
+		res.Trace, res.Branches, res.MPKI, 100*res.Misprediction)
+}

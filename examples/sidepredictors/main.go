@@ -1,0 +1,58 @@
+// Side predictors (Sections 5 and 6 of the paper): stacks the IUM, the
+// loop predictor, the global Statistical Corrector and the Local
+// Statistical Corrector on top of TAGE one at a time, showing each
+// component's marginal contribution — and that the LSC captures most of
+// what the loop predictor and global SC capture.
+package main
+
+import (
+	"fmt"
+
+	"repro"
+)
+
+func main() {
+	const branchesPerTrace = 150000
+	stacks := []func() *repro.Model{
+		repro.ReferenceTAGE,
+		repro.TAGEWithIUM,
+		repro.ISLTAGE,     // + loop predictor + global SC
+		repro.TAGELSC512K, // TAGE + IUM + LSC (budget-matched)
+	}
+
+	fmt.Println("predictor stack            MPPKI-sum    vs TAGE")
+	var base float64
+	for i, mk := range stacks {
+		suite := &repro.Suite{}
+		for _, tn := range repro.TraceNames() {
+			tr := repro.GenerateTrace(tn, branchesPerTrace)
+			suite.Add(mk().Run(tr, repro.Options{Scenario: repro.ScenarioA}))
+		}
+		total := suite.TotalMPPKI()
+		if i == 0 {
+			base = total
+		}
+		fmt.Printf("%-26s %9.0f    %+.1f%%\n", mk().Name(), total, 100*(total-base)/base)
+	}
+
+	// Where does each side predictor earn its keep? Show the hard traces
+	// (Section 2.2) separately.
+	fmt.Println("\nper-subset comparison (ISL-TAGE vs TAGE-LSC):")
+	for _, mk := range []func() *repro.Model{repro.ISLTAGE, repro.TAGELSC512K} {
+		suite := &repro.Suite{}
+		for _, tn := range repro.TraceNames() {
+			tr := repro.GenerateTrace(tn, branchesPerTrace)
+			suite.Add(mk().Run(tr, repro.Options{Scenario: repro.ScenarioA}))
+		}
+		hard := suite.Subset(repro.HardTraces())
+		easyNames := map[string]bool{}
+		for _, tn := range repro.TraceNames() {
+			if !repro.HardTraces()[tn] {
+				easyNames[tn] = true
+			}
+		}
+		easy := suite.Subset(easyNames)
+		fmt.Printf("%-12s hard-7 MPPKI=%7.0f   easy-33 MPPKI=%7.0f\n",
+			mk().Name(), hard.TotalMPPKI(), easy.TotalMPPKI())
+	}
+}

@@ -1,0 +1,100 @@
+package bimodal
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNextSaturates(t *testing.T) {
+	if Next(3, true) != 3 {
+		t.Fatal("must saturate at 3")
+	}
+	if Next(0, false) != 0 {
+		t.Fatal("must saturate at 0")
+	}
+	if Next(1, true) != 2 || Next(2, false) != 1 {
+		t.Fatal("middle transitions wrong")
+	}
+}
+
+func TestTakenThreshold(t *testing.T) {
+	for ctr, want := range map[int32]bool{0: false, 1: false, 2: true, 3: true} {
+		if Taken(ctr) != want {
+			t.Fatalf("Taken(%d) = %v", ctr, Taken(ctr))
+		}
+	}
+}
+
+func TestReadWriteRoundTrip(t *testing.T) {
+	tab := New(10, 8, nil)
+	f := func(pcRaw uint32, ctrRaw uint8) bool {
+		pc := uint64(pcRaw)
+		ctr := int32(ctrRaw & 3)
+		pi := tab.Index(pc)
+		tab.Write(pi, ctr)
+		return tab.Read(pi) == ctr
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHysteresisSharing(t *testing.T) {
+	// With logPred=4, logHyst=2, indices 0..3 share hysteresis bit 0.
+	tab := New(4, 2, nil)
+	tab.Write(0, 3) // pred[0]=1, hyst[0]=1
+	tab.Write(1, 0) // pred[1]=0, hyst[0]=0 -- shared!
+	// Entry 0 now reads pred=1, hyst=0 -> counter 2.
+	if got := tab.Read(0); got != 2 {
+		t.Fatalf("shared hysteresis: Read(0) = %d, want 2", got)
+	}
+}
+
+func TestTrainingConvergence(t *testing.T) {
+	s := NewStandalone(10, 8)
+	pc := uint64(0x400100)
+	var ctx Ctx
+	// After a few taken outcomes the predictor must predict taken.
+	for i := 0; i < 4; i++ {
+		s.Predict(pc, &ctx)
+		s.Retire(pc, true, &ctx, true)
+	}
+	if !s.Predict(pc, &ctx) {
+		t.Fatal("did not learn an always-taken branch")
+	}
+}
+
+func TestSilentWriteAccounting(t *testing.T) {
+	s := NewStandalone(8, 6)
+	pc := uint64(0x40)
+	var ctx Ctx
+	for i := 0; i < 10; i++ {
+		s.Predict(pc, &ctx)
+		s.Retire(pc, true, &ctx, true)
+	}
+	st := s.AccessStats()
+	// Counter saturates after 3 updates; the remaining updates are silent.
+	if st.EntryWrites == 0 || st.SilentSkipped == 0 {
+		t.Fatalf("stats = %+v, want both effective and silent writes", st)
+	}
+	if st.SilentSkipped < st.EntryWrites {
+		t.Fatalf("saturated counter should be mostly silent: %+v", st)
+	}
+}
+
+func TestStorageBits(t *testing.T) {
+	// Reference TAGE base: 32K prediction bits + 8K hysteresis bits.
+	tab := New(15, 13, nil)
+	if got := tab.StorageBits(); got != 32768+8192 {
+		t.Fatalf("StorageBits = %d, want 40960", got)
+	}
+}
+
+func TestNewPanicsOnBadConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic when logHyst > logPred")
+		}
+	}()
+	New(4, 6, nil)
+}

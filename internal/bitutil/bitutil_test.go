@@ -1,0 +1,189 @@
+package bitutil
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSatSignedBounds(t *testing.T) {
+	for _, bits := range []uint{2, 3, 5, 6} {
+		v := int32(0)
+		for i := 0; i < 100; i++ {
+			v = SatIncSigned(v, bits)
+		}
+		if v != SignedMax(bits) {
+			t.Fatalf("bits=%d: inc saturated at %d, want %d", bits, v, SignedMax(bits))
+		}
+		for i := 0; i < 1000; i++ {
+			v = SatDecSigned(v, bits)
+		}
+		if v != SignedMin(bits) {
+			t.Fatalf("bits=%d: dec saturated at %d, want %d", bits, v, SignedMin(bits))
+		}
+	}
+}
+
+func TestSatSignedStaysInRangeProperty(t *testing.T) {
+	// Property: starting anywhere in range, any sequence of updates keeps
+	// the counter in range.
+	f := func(start int8, ops []bool) bool {
+		const bits = 3
+		v := int32(start)
+		if v > SignedMax(bits) {
+			v = SignedMax(bits)
+		}
+		if v < SignedMin(bits) {
+			v = SignedMin(bits)
+		}
+		for _, up := range ops {
+			v = SatUpdateSigned(v, up, bits)
+			if v > SignedMax(bits) || v < SignedMin(bits) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSatUnsigned(t *testing.T) {
+	v := uint32(0)
+	for i := 0; i < 300; i++ {
+		v = SatIncUnsigned(v, 8)
+	}
+	if v != 255 {
+		t.Fatalf("inc saturated at %d, want 255", v)
+	}
+	for i := 0; i < 300; i++ {
+		v = SatDecUnsigned(v)
+	}
+	if v != 0 {
+		t.Fatalf("dec saturated at %d, want 0", v)
+	}
+}
+
+func TestTakenSign(t *testing.T) {
+	cases := []struct {
+		v    int32
+		want bool
+	}{{-4, false}, {-1, false}, {0, true}, {3, true}}
+	for _, c := range cases {
+		if got := TakenSign(c.v); got != c.want {
+			t.Errorf("TakenSign(%d) = %v, want %v", c.v, got, c.want)
+		}
+	}
+}
+
+func TestCentered(t *testing.T) {
+	// Centered values are odd, monotone, and symmetric around zero.
+	for v := int32(-4); v <= 3; v++ {
+		c := Centered(v)
+		if c%2 == 0 {
+			t.Fatalf("Centered(%d) = %d is even", v, c)
+		}
+		if v >= 0 && c <= 0 || v < 0 && c >= 0 {
+			t.Fatalf("Centered(%d) = %d has wrong sign", v, c)
+		}
+	}
+	if Centered(0) != 1 || Centered(-1) != -1 || Centered(3) != 7 || Centered(-4) != -7 {
+		t.Fatal("Centered known values wrong")
+	}
+}
+
+func TestIsWeak(t *testing.T) {
+	if !IsWeak(0) || !IsWeak(-1) {
+		t.Fatal("0 and -1 must be weak")
+	}
+	if IsWeak(1) || IsWeak(-2) {
+		t.Fatal("1 and -2 must not be weak")
+	}
+}
+
+func TestMask(t *testing.T) {
+	if Mask(0) != 0 {
+		t.Fatal("Mask(0)")
+	}
+	if Mask(1) != 1 {
+		t.Fatal("Mask(1)")
+	}
+	if Mask(10) != 0x3ff {
+		t.Fatal("Mask(10)")
+	}
+	if Mask(64) != ^uint64(0) {
+		t.Fatal("Mask(64)")
+	}
+	if Mask(70) != ^uint64(0) {
+		t.Fatal("Mask(70) should clamp")
+	}
+}
+
+func TestIsPow2(t *testing.T) {
+	for _, v := range []int{1, 2, 4, 1024, 1 << 20} {
+		if !IsPow2(v) {
+			t.Errorf("IsPow2(%d) = false", v)
+		}
+	}
+	for _, v := range []int{0, -2, 3, 12, 1000} {
+		if IsPow2(v) {
+			t.Errorf("IsPow2(%d) = true", v)
+		}
+	}
+}
+
+func TestLog2(t *testing.T) {
+	cases := map[int]uint{1: 0, 2: 1, 3: 1, 4: 2, 1024: 10, 1 << 20: 20}
+	for v, want := range cases {
+		if got := Log2(v); got != want {
+			t.Errorf("Log2(%d) = %d, want %d", v, got, want)
+		}
+	}
+}
+
+func TestCeilPow2(t *testing.T) {
+	cases := map[int]int{1: 1, 2: 2, 3: 4, 5: 8, 1000: 1024, 1024: 1024}
+	for v, want := range cases {
+		if got := CeilPow2(v); got != want {
+			t.Errorf("CeilPow2(%d) = %d, want %d", v, got, want)
+		}
+	}
+}
+
+func TestMix64Avalanche(t *testing.T) {
+	// Flipping one input bit should flip roughly half the output bits.
+	base := Mix64(0x123456789abcdef)
+	totalFlips := 0
+	for bit := uint(0); bit < 64; bit++ {
+		d := Mix64(0x123456789abcdef ^ (1 << bit))
+		x := base ^ d
+		for x != 0 {
+			totalFlips += int(x & 1)
+			x >>= 1
+		}
+	}
+	avg := float64(totalFlips) / 64
+	if avg < 24 || avg > 40 {
+		t.Fatalf("avalanche average flips = %v, want ~32", avg)
+	}
+}
+
+func TestSatUpdateQuickCheckUnsignedWidths(t *testing.T) {
+	f := func(ops []bool) bool {
+		v := uint32(0)
+		for _, up := range ops {
+			if up {
+				v = SatIncUnsigned(v, 3)
+			} else {
+				v = SatDecUnsigned(v)
+			}
+			if v > 7 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

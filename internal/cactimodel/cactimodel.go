@@ -1,0 +1,129 @@
+// Package cactimodel is an analytical SRAM area/energy model standing in
+// for the CACTI 6.5 evaluations the paper cites. Only the *ratios* between
+// configurations matter to the paper's argument, and the model is
+// calibrated to reproduce them in the 1 KB – 64 KB range of branch
+// predictor tables:
+//
+//   - a 3-port memory array is 3–4x larger than a single-ported array of
+//     equal capacity, and dissipates 25–30% more energy per access
+//     (Section 4, citing CACTI 6.5);
+//   - replacing a 3-port array with a 4-way interleaved set of single-port
+//     banks decreases silicon area by ~3.3x and roughly halves the energy
+//     per access (Sections 4.3 and 7.1).
+//
+// The model: an SRAM cell with P read/write ports grows linearly in each
+// dimension with added wordlines and bitline pairs, so cell area scales as
+// (1 + k_port*(P-1))^2; per-access dynamic energy is dominated by the
+// accessed port's wordline/bitline capacitance, which grows mildly with
+// port count and with array size (bitline length ~ bits^0.4); banking pays
+// a fixed per-bank periphery overhead but activates only one small bank per
+// access.
+package cactimodel
+
+import "math"
+
+// Calibration constants. cellPortGrowth is chosen so that a 3-port cell is
+// ~3.6x a 1-port cell ((1+0.45*2)^2 = 3.61); energyPortGrowth so that a
+// 3-port access costs ~26% more; bankOverhead so that a 4-bank array pays
+// ~9% extra area over the summed banks (decoders, output muxing, wiring).
+const (
+	cellPortGrowth   = 0.45
+	energyPortGrowth = 0.13
+	bankOverhead     = 0.09
+	energySizeExp    = 0.4
+)
+
+// Array describes one monolithic SRAM array.
+type Array struct {
+	Bits  int // storage capacity in bits
+	Ports int // identical read/write ports (>= 1)
+}
+
+// Area returns the silicon area in arbitrary units (single-port cell
+// units). Includes a periphery term that grows with the square root of
+// capacity per port.
+func (a Array) Area() float64 {
+	if a.Bits <= 0 || a.Ports < 1 {
+		return 0
+	}
+	g := 1 + cellPortGrowth*float64(a.Ports-1)
+	cells := float64(a.Bits) * g * g
+	periphery := 6 * float64(a.Ports) * math.Sqrt(float64(a.Bits))
+	return cells + periphery
+}
+
+// ReadEnergy returns the dynamic energy per read access in arbitrary units.
+func (a Array) ReadEnergy() float64 {
+	if a.Bits <= 0 || a.Ports < 1 {
+		return 0
+	}
+	size := math.Pow(float64(a.Bits), energySizeExp)
+	return size * (1 + energyPortGrowth*float64(a.Ports-1))
+}
+
+// Banked describes the same capacity implemented as NumBanks single-ported
+// banks (the Section 4.3 proposal).
+type Banked struct {
+	Bits  int
+	Banks int
+}
+
+// Area returns total silicon area of the banked organisation.
+func (b Banked) Area() float64 {
+	if b.Bits <= 0 || b.Banks < 1 {
+		return 0
+	}
+	per := Array{Bits: b.Bits / b.Banks, Ports: 1}.Area()
+	return per * float64(b.Banks) * (1 + bankOverhead)
+}
+
+// ReadEnergy returns the energy per access: only one bank is activated.
+func (b Banked) ReadEnergy() float64 {
+	if b.Bits <= 0 || b.Banks < 1 {
+		return 0
+	}
+	return Array{Bits: b.Bits / b.Banks, Ports: 1}.ReadEnergy()
+}
+
+// Comparison reports the headline ratios for a predictor table of the given
+// capacity, as used in the paper's argument.
+type Comparison struct {
+	Bits int
+	// AreaRatio3v1 is area(3-port)/area(1-port) at equal capacity.
+	AreaRatio3v1 float64
+	// EnergyRatio3v1 is energy(3-port)/energy(1-port) at equal capacity.
+	EnergyRatio3v1 float64
+	// AreaRatioMonoVsBanked is area(3-port monolithic)/area(4x1-port banks).
+	AreaRatioMonoVsBanked float64
+	// EnergyRatioMonoVsBanked is the corresponding per-access energy ratio.
+	EnergyRatioMonoVsBanked float64
+}
+
+// Compare computes the headline ratios for a table of the given bit
+// capacity.
+func Compare(bits int) Comparison {
+	mono3 := Array{Bits: bits, Ports: 3}
+	mono1 := Array{Bits: bits, Ports: 1}
+	banked := Banked{Bits: bits, Banks: 4}
+	return Comparison{
+		Bits:                    bits,
+		AreaRatio3v1:            mono3.Area() / mono1.Area(),
+		EnergyRatio3v1:          mono3.ReadEnergy() / mono1.ReadEnergy(),
+		AreaRatioMonoVsBanked:   mono3.Area() / banked.Area(),
+		EnergyRatioMonoVsBanked: mono3.ReadEnergy() / banked.ReadEnergy(),
+	}
+}
+
+// PredictorArea sums the banked (or monolithic) area over a predictor's
+// table capacities in bits.
+func PredictorArea(tableBits []int, ports int, banked bool) float64 {
+	total := 0.0
+	for _, bits := range tableBits {
+		if banked {
+			total += Banked{Bits: bits, Banks: 4}.Area()
+		} else {
+			total += Array{Bits: bits, Ports: ports}.Area()
+		}
+	}
+	return total
+}

@@ -1,0 +1,112 @@
+package cactimodel
+
+import "testing"
+
+// Capacities spanning the paper's stated range: 1 KB to 64 KB arrays.
+var capacities = []int{8 * 1024, 32 * 1024, 128 * 1024, 256 * 1024, 512 * 1024}
+
+// TestAreaRatio3v1Band checks the CACTI-derived claim of Section 4: "the
+// area of a 3-port memory array is 3-4 times larger than a single-ported
+// memory array".
+func TestAreaRatio3v1Band(t *testing.T) {
+	for _, bits := range capacities {
+		c := Compare(bits)
+		if c.AreaRatio3v1 < 3.0 || c.AreaRatio3v1 > 4.0 {
+			t.Errorf("bits=%d: area ratio 3v1 = %.2f, want in [3,4]", bits, c.AreaRatio3v1)
+		}
+	}
+}
+
+// TestEnergyRatio3v1Band checks: "the energy dissipated per access is about
+// 25-30% higher" for 3-port vs single port.
+func TestEnergyRatio3v1Band(t *testing.T) {
+	for _, bits := range capacities {
+		c := Compare(bits)
+		if c.EnergyRatio3v1 < 1.20 || c.EnergyRatio3v1 > 1.35 {
+			t.Errorf("bits=%d: energy ratio 3v1 = %.3f, want ~1.25-1.30", bits, c.EnergyRatio3v1)
+		}
+	}
+}
+
+// TestBankedAreaRatio checks Section 4.3: "a 3.3x decrease of the silicon
+// area ... when assuming bank-interleaving instead of 3-port memory array".
+func TestBankedAreaRatio(t *testing.T) {
+	for _, bits := range capacities {
+		c := Compare(bits)
+		if c.AreaRatioMonoVsBanked < 2.9 || c.AreaRatioMonoVsBanked > 3.7 {
+			t.Errorf("bits=%d: area ratio mono/banked = %.2f, want ~3.3", bits, c.AreaRatioMonoVsBanked)
+		}
+	}
+}
+
+// TestBankedEnergyRatio checks Section 4.3: "a 2x decrease of the energy
+// dissipated ... per predictor access".
+func TestBankedEnergyRatio(t *testing.T) {
+	for _, bits := range capacities {
+		c := Compare(bits)
+		if c.EnergyRatioMonoVsBanked < 1.7 || c.EnergyRatioMonoVsBanked > 2.5 {
+			t.Errorf("bits=%d: energy ratio mono/banked = %.2f, want ~2", bits, c.EnergyRatioMonoVsBanked)
+		}
+	}
+}
+
+func TestAreaMonotoneInBits(t *testing.T) {
+	prev := 0.0
+	for _, bits := range capacities {
+		a := Array{Bits: bits, Ports: 1}.Area()
+		if a <= prev {
+			t.Fatalf("area not monotone at %d bits", bits)
+		}
+		prev = a
+	}
+}
+
+func TestAreaMonotoneInPorts(t *testing.T) {
+	for ports := 1; ports < 4; ports++ {
+		a := Array{Bits: 1 << 18, Ports: ports}.Area()
+		b := Array{Bits: 1 << 18, Ports: ports + 1}.Area()
+		if b <= a {
+			t.Fatalf("area not monotone in ports at %d", ports)
+		}
+	}
+}
+
+func TestDegenerateInputs(t *testing.T) {
+	if (Array{Bits: 0, Ports: 1}).Area() != 0 {
+		t.Fatal("zero bits must have zero area")
+	}
+	if (Array{Bits: 100, Ports: 0}).Area() != 0 {
+		t.Fatal("zero ports must have zero area")
+	}
+	if (Banked{Bits: 0, Banks: 4}).ReadEnergy() != 0 {
+		t.Fatal("zero bits must have zero energy")
+	}
+}
+
+func TestBankedCheaperThanMultiport(t *testing.T) {
+	// The entire point of Section 4.3: banking must beat a 3-port array on
+	// both metrics at every relevant size.
+	for _, bits := range capacities {
+		mono := Array{Bits: bits, Ports: 3}
+		banked := Banked{Bits: bits, Banks: 4}
+		if banked.Area() >= mono.Area() {
+			t.Errorf("bits=%d: banked area not smaller", bits)
+		}
+		if banked.ReadEnergy() >= mono.ReadEnergy() {
+			t.Errorf("bits=%d: banked energy not smaller", bits)
+		}
+	}
+}
+
+func TestPredictorArea(t *testing.T) {
+	tables := []int{32 * 1024, 64 * 1024, 64 * 1024}
+	mono := PredictorArea(tables, 3, false)
+	banked := PredictorArea(tables, 1, true)
+	if banked >= mono {
+		t.Fatal("banked predictor should be smaller than 3-ported predictor")
+	}
+	ratio := mono / banked
+	if ratio < 2.9 || ratio > 3.7 {
+		t.Fatalf("predictor area ratio = %.2f, want ~3.3", ratio)
+	}
+}

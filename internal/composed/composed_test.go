@@ -1,0 +1,179 @@
+package composed
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/tage"
+)
+
+func testTageConfig() tage.Config {
+	return tage.Config{
+		Name:       "TAGE-t",
+		LogBimodal: 12,
+		TableLogs:  []uint{9, 9, 9, 9, 9, 9},
+		TagBits:    []uint{8, 9, 10, 11, 12, 12},
+		MinHist:    4,
+		MaxHist:    128,
+		Seed:       1,
+	}
+}
+
+// runImmediate drives a composed predictor with oracle update, returning
+// late (second-half) mispredictions.
+func runImmediate(p *Predictor, pcs []uint64, outs []bool) (late int) {
+	var ctx Ctx
+	half := len(pcs) / 2
+	for i := range pcs {
+		pred := p.Predict(pcs[i], &ctx)
+		if pred != outs[i] && i >= half {
+			late++
+		}
+		p.OnResolve(pcs[i], outs[i], pred != outs[i], &ctx)
+		p.Retire(pcs[i], outs[i], &ctx, true)
+	}
+	return late
+}
+
+func TestNames(t *testing.T) {
+	cases := []struct {
+		cfg  Config
+		want string
+	}{
+		{TageIUM(testTageConfig(), ""), "TAGE+IUM"},
+		{ISLTAGE(testTageConfig(), ""), "TAGE+IUM+loop+SC"},
+		{TAGELSC(testTageConfig(), ""), "TAGE+IUM+LSC"},
+		{FullStack(testTageConfig(), ""), "TAGE+IUM+loop+SC+LSC"},
+	}
+	for _, c := range cases {
+		if got := New(c.cfg).Name(); got != c.want {
+			t.Errorf("Name = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestStorageAccumulates(t *testing.T) {
+	base := New(Config{Tage: testTageConfig()})
+	full := New(FullStack(testTageConfig(), ""))
+	if full.StorageBits() <= base.StorageBits() {
+		t.Fatal("side predictors must add storage")
+	}
+	// Side predictors are small: well under 60 Kbits together.
+	if full.StorageBits()-base.StorageBits() > 60*1024 {
+		t.Fatalf("side predictors too large: %d bits",
+			full.StorageBits()-base.StorageBits())
+	}
+}
+
+func TestBudget512KUnderLimit(t *testing.T) {
+	// Section 6.1: TAGE-LSC adjusted to 512 Kbits by halving T7.
+	p := New(TAGELSC(Budget512K(), "TAGE-LSC-512K"))
+	if p.StorageBits() > 512*1024 {
+		t.Fatalf("budget predictor = %d bits, exceeds 512Kbit", p.StorageBits())
+	}
+	if p.StorageBits() < 480*1024 {
+		t.Fatalf("budget predictor = %d bits, suspiciously small", p.StorageBits())
+	}
+}
+
+// TestLoopPredictorHelpsIrregularLoop reproduces the Section 5.2 case:
+// a constant-trip loop whose body scrambles global history. Plain TAGE
+// mispredicts the exits; the loop predictor captures them.
+func TestLoopPredictorHelpsIrregularLoop(t *testing.T) {
+	gen := func() ([]uint64, []bool) {
+		r := rng.NewXoshiro(42)
+		var pcs []uint64
+		var outs []bool
+		const trip = 40 // beyond LSC local history; loop predictor territory
+		for round := 0; round < 400; round++ {
+			for i := 0; i < trip; i++ {
+				// Irregular body: 3 noise branches.
+				for b := 0; b < 3; b++ {
+					pcs = append(pcs, uint64(0x9000+b*4))
+					outs = append(outs, r.Bool(0.5))
+				}
+				pcs = append(pcs, 0x1000)
+				outs = append(outs, i < trip-1)
+			}
+		}
+		return pcs, outs
+	}
+	pcs, outs := gen()
+	plain := runImmediate(New(TageIUM(testTageConfig(), "")), pcs, outs)
+	withLoop := runImmediate(New(Config{
+		Name: "TAGE+IUM+loop", Tage: func() tage.Config {
+			c := testTageConfig()
+			c.UseIUM = true
+			return c
+		}(), UseLoop: true,
+	}), pcs, outs)
+	if withLoop >= plain {
+		t.Fatalf("loop predictor did not help: with=%d plain=%d", withLoop, plain)
+	}
+}
+
+// TestSCHelpsStatisticallyBiasedBranch reproduces the Section 5.3 case.
+func TestSCHelpsStatisticallyBiasedBranch(t *testing.T) {
+	gen := func() ([]uint64, []bool) {
+		r := rng.NewXoshiro(7)
+		var pcs []uint64
+		var outs []bool
+		for i := 0; i < 60000; i++ {
+			// Alternate a noise-context branch and the biased branch.
+			pcs = append(pcs, uint64(0x100+(i%5)*4))
+			outs = append(outs, r.Bool(0.5))
+			pcs = append(pcs, 0x2000)
+			outs = append(outs, r.Bool(0.88))
+		}
+		return pcs, outs
+	}
+	pcs, outs := gen()
+	plain := runImmediate(New(TageIUM(testTageConfig(), "")), pcs, outs)
+	withSC := runImmediate(New(func() Config {
+		c := TageIUM(testTageConfig(), "")
+		c.UseSC = true
+		return c
+	}()), pcs, outs)
+	if withSC >= plain {
+		t.Fatalf("SC did not help on biased branch: with=%d plain=%d", withSC, plain)
+	}
+}
+
+// TestLSCHelpsLocalPattern reproduces the Section 6 case: local pattern
+// under global noise.
+func TestLSCHelpsLocalPattern(t *testing.T) {
+	gen := func() ([]uint64, []bool) {
+		r := rng.NewXoshiro(9)
+		pattern := []bool{true, true, false, true, false, true, true, false, false, true, false, false}
+		var pcs []uint64
+		var outs []bool
+		cnt := 0
+		for i := 0; i < 40000; i++ {
+			for b := 0; b < 4; b++ {
+				pcs = append(pcs, uint64(0x300+b*4))
+				outs = append(outs, r.Bool(0.5))
+			}
+			pcs = append(pcs, 0x4000)
+			outs = append(outs, pattern[cnt%len(pattern)])
+			cnt++
+		}
+		return pcs, outs
+	}
+	pcs, outs := gen()
+	plain := runImmediate(New(TageIUM(testTageConfig(), "")), pcs, outs)
+	withLSC := runImmediate(New(TAGELSC(testTageConfig(), "")), pcs, outs)
+	if float64(withLSC) >= float64(plain)*0.9 {
+		t.Fatalf("LSC did not help on local pattern: with=%d plain=%d", withLSC, plain)
+	}
+}
+
+func TestComponentAccessors(t *testing.T) {
+	p := New(FullStack(testTageConfig(), ""))
+	if p.Tage() == nil || p.LoopPredictor() == nil || p.SC() == nil || p.LSC() == nil {
+		t.Fatal("accessors must expose configured components")
+	}
+	p2 := New(Config{Tage: testTageConfig()})
+	if p2.LoopPredictor() != nil || p2.SC() != nil || p2.LSC() != nil {
+		t.Fatal("unconfigured components must be nil")
+	}
+}

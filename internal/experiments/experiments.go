@@ -1,0 +1,178 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation (the E1–E15 index of DESIGN.md). Each experiment returns a
+// Report pairing the paper's published values with the values measured on
+// this repository's synthetic benchmark suite: absolute numbers differ
+// (the substrate is synthetic), the *shapes* — orderings, ratios,
+// crossovers — are the reproduction targets, and each report carries the
+// shape checks it is expected to satisfy.
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/composed"
+	"repro/internal/gehl"
+	"repro/internal/gshare"
+	"repro/internal/predictor"
+	"repro/internal/sim"
+	"repro/internal/tage"
+	"repro/internal/workload"
+)
+
+// Config controls the experiment scale.
+type Config struct {
+	// BranchesPerTrace sets the trace length (default 200000; the full
+	// runs in EXPERIMENTS.md use 1000000).
+	BranchesPerTrace int
+	// Window and ExecDelay configure the pipeline model.
+	Window    int
+	ExecDelay int
+	// Parallelism bounds concurrent trace simulations (default NumCPU).
+	Parallelism int
+}
+
+func (c Config) withDefaults() Config {
+	if c.BranchesPerTrace == 0 {
+		c.BranchesPerTrace = 200000
+	}
+	if c.Window == 0 {
+		c.Window = 24
+	}
+	if c.ExecDelay == 0 {
+		c.ExecDelay = 6
+	}
+	if c.Parallelism == 0 {
+		c.Parallelism = runtime.NumCPU()
+	}
+	return c
+}
+
+func (c Config) simOptions(sc predictor.Scenario) sim.Options {
+	return sim.Options{Scenario: sc, Window: c.Window, ExecDelay: c.ExecDelay}
+}
+
+// Row is one line of a report: a labelled paper-vs-measured pair.
+type Row struct {
+	Label    string
+	Paper    string
+	Measured string
+}
+
+// Report is the outcome of one experiment.
+type Report struct {
+	ID    string
+	Title string
+	Rows  []Row
+	// Checks records the shape assertions and whether they held.
+	Checks []Check
+	Notes  []string
+}
+
+// Check is a named boolean shape assertion.
+type Check struct {
+	Name string
+	Pass bool
+}
+
+// Passed reports whether every shape check held.
+func (r Report) Passed() bool {
+	for _, c := range r.Checks {
+		if !c.Pass {
+			return false
+		}
+	}
+	return true
+}
+
+func (r *Report) check(name string, pass bool) {
+	r.Checks = append(r.Checks, Check{Name: name, Pass: pass})
+}
+
+func (r *Report) row(label, paper, format string, args ...any) {
+	r.Rows = append(r.Rows, Row{Label: label, Paper: paper, Measured: fmt.Sprintf(format, args...)})
+}
+
+// SuiteRunner runs a freshly-constructed predictor over the whole suite.
+type SuiteRunner func(cfg Config, opts sim.Options) *sim.Suite
+
+// MakeRunner adapts a typed predictor constructor into a SuiteRunner. The
+// constructor is invoked once per trace so every trace sees cold state.
+func MakeRunner[C any](mk func() predictor.Predictor[C]) SuiteRunner {
+	return func(cfg Config, opts sim.Options) *sim.Suite {
+		cfg = cfg.withDefaults()
+		specs := workload.All()
+		results := make([]sim.Result, len(specs))
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, cfg.Parallelism)
+		for i, spec := range specs {
+			wg.Add(1)
+			go func(i int, spec workload.Spec) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				tr := workload.Generate(spec, cfg.BranchesPerTrace)
+				results[i] = sim.RunTrace(mk(), tr, opts)
+			}(i, spec)
+		}
+		wg.Wait()
+		s := &sim.Suite{}
+		for _, r := range results {
+			s.Add(r)
+		}
+		return s
+	}
+}
+
+// --- predictor factories (the paper's configurations) ---
+
+// GshareRunner is the 512 Kbit gshare of Section 4.1.
+func GshareRunner() SuiteRunner {
+	return MakeRunner(func() predictor.Predictor[gshare.Ctx] {
+		return gshare.New(18)
+	})
+}
+
+// GEHLRunner is the 520 Kbit GEHL of Section 4.1.
+func GEHLRunner() SuiteRunner {
+	return MakeRunner(func() predictor.Predictor[gehl.Ctx] {
+		return gehl.New(gehl.Config{})
+	})
+}
+
+// TAGERunner is the reference 512 Kbit TAGE of Section 3.4, optionally
+// interleaved and with IUM.
+func TAGERunner(interleaved, useIUM bool) SuiteRunner {
+	return MakeRunner(func() predictor.Predictor[tage.Ctx] {
+		cfg := tage.Reference()
+		cfg.Interleaved = interleaved
+		cfg.UseIUM = useIUM
+		return tage.New(cfg)
+	})
+}
+
+// ComposedRunner wraps a composed-stack configuration.
+func ComposedRunner(mk func() composed.Config) SuiteRunner {
+	return MakeRunner(func() predictor.Predictor[composed.Ctx] {
+		return composed.New(mk())
+	})
+}
+
+// scenarioSet runs one runner across the four update scenarii.
+func scenarioSet(r SuiteRunner, cfg Config) map[predictor.Scenario]*sim.Suite {
+	out := make(map[predictor.Scenario]*sim.Suite, 4)
+	for _, sc := range []predictor.Scenario{
+		predictor.ScenarioI, predictor.ScenarioA, predictor.ScenarioB, predictor.ScenarioC,
+	} {
+		out[sc] = r(cfg, cfg.simOptions(sc))
+	}
+	return out
+}
+
+func pct(delta, base float64) string {
+	if base == 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%+.1f%%", 100*delta/base)
+}

@@ -1,0 +1,140 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/predictor"
+)
+
+func TestRegistryCompleteAndOrdered(t *testing.T) {
+	reg := Registry()
+	if len(reg) != 15 {
+		t.Fatalf("registry has %d experiments, want 15", len(reg))
+	}
+	for i, e := range reg {
+		wantID := "E" + itoa(i+1)
+		if e.ID != wantID {
+			t.Errorf("position %d: id %s, want %s", i, e.ID, wantID)
+		}
+		if e.Run == nil || e.Title == "" {
+			t.Errorf("%s: incomplete registration", e.ID)
+		}
+	}
+}
+
+func itoa(v int) string {
+	if v >= 10 {
+		return string(rune('0'+v/10)) + string(rune('0'+v%10))
+	}
+	return string(rune('0' + v))
+}
+
+func TestLookupCaseInsensitive(t *testing.T) {
+	for _, id := range []string{"e3", "E3", " e3 "} {
+		if _, ok := Lookup(id); !ok {
+			t.Errorf("Lookup(%q) failed", id)
+		}
+	}
+	if _, ok := Lookup("E16"); ok {
+		t.Fatal("Lookup must reject unknown ids")
+	}
+}
+
+func TestRenderFormats(t *testing.T) {
+	rep := Report{ID: "EX", Title: "t"}
+	rep.row("label", "1.0", "%.1f", 2.0)
+	rep.check("a check", true)
+	rep.check("a failing check", false)
+	rep.Notes = append(rep.Notes, "a note")
+
+	var buf bytes.Buffer
+	Render(&buf, rep)
+	out := buf.String()
+	for _, want := range []string{"EX", "label", "paper=1.0", "measured=2.0", "[PASS]", "[FAIL]", "a note"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("text render missing %q in:\n%s", want, out)
+		}
+	}
+
+	buf.Reset()
+	RenderMarkdown(&buf, rep)
+	out = buf.String()
+	for _, want := range []string{"### EX", "| label | 1.0 | 2.0 |", "✅", "❌"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("markdown render missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestReportPassed(t *testing.T) {
+	var r Report
+	if !r.Passed() {
+		t.Fatal("empty report must pass")
+	}
+	r.check("ok", true)
+	if !r.Passed() {
+		t.Fatal("all-true must pass")
+	}
+	r.check("bad", false)
+	if r.Passed() {
+		t.Fatal("any-false must fail")
+	}
+}
+
+func TestMakeRunnerColdStatePerTrace(t *testing.T) {
+	// The runner must construct a fresh predictor per trace: two identical
+	// invocations give identical totals.
+	cfg := Config{BranchesPerTrace: 5000}
+	r := GshareRunner()
+	a := r(cfg, cfg.simOptions(predictor.ScenarioA)).TotalMispredictions()
+	b := r(cfg, cfg.simOptions(predictor.ScenarioA)).TotalMispredictions()
+	if a != b {
+		t.Fatalf("suite runs not reproducible: %d vs %d", a, b)
+	}
+}
+
+func TestSuiteRunnerCovers40Traces(t *testing.T) {
+	cfg := Config{BranchesPerTrace: 2000}
+	suite := GshareRunner()(cfg, cfg.simOptions(predictor.ScenarioA))
+	if len(suite.Results) != 40 {
+		t.Fatalf("suite has %d results, want 40", len(suite.Results))
+	}
+	seen := map[string]bool{}
+	for _, res := range suite.Results {
+		if seen[res.Trace] {
+			t.Fatalf("duplicate trace %s", res.Trace)
+		}
+		seen[res.Trace] = true
+		if res.Branches == 0 {
+			t.Fatalf("trace %s ran no branches", res.Trace)
+		}
+	}
+}
+
+func TestPct(t *testing.T) {
+	if pct(5, 100) != "+5.0%" {
+		t.Fatalf("pct = %s", pct(5, 100))
+	}
+	if pct(-5, 100) != "-5.0%" {
+		t.Fatalf("pct = %s", pct(-5, 100))
+	}
+	if pct(1, 0) != "n/a" {
+		t.Fatal("division by zero must be guarded")
+	}
+}
+
+// TestE15Fast is an end-to-end experiment smoke test at tiny scale.
+func TestE15Fast(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment run in -short mode")
+	}
+	rep := E15(Config{BranchesPerTrace: 20000})
+	if len(rep.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+	if rep.ID != "E15" {
+		t.Fatalf("id = %s", rep.ID)
+	}
+}

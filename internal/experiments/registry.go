@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Experiment couples an id with its runner.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(Config) Report
+}
+
+// Registry lists every experiment in the paper-order E1..E15.
+func Registry() []Experiment {
+	return []Experiment{
+		{"E1", "Effective writes with silent-update elimination (§4.1.1)", E1},
+		{"E2", "Delayed-update scenarii (§4.1.2)", E2},
+		{"E3", "Bank-interleaved single-ported TAGE (§4.3)", E3},
+		{"E4", "Immediate Update Mimicker (§5.1)", E4},
+		{"E5", "Loop predictor on top of TAGE+IUM (§5.2)", E5},
+		{"E6", "Statistical Corrector on top of TAGE+IUM+loop (§5.3)", E6},
+		{"E7", "ISL-TAGE vs scaling TAGE to 2 Mbits (§5.4)", E7},
+		{"E8", "Local Statistical Corrector (§6.1)", E8},
+		{"E9", "512Kbit budget match: TAGE-LSC vs ISL-TAGE (§6.1)", E9},
+		{"E10", "History series robustness of TAGE-LSC (§6.2)", E10},
+		{"E11", "Figure 9: TAGE vs TAGE-LSC size scaling", E11},
+		{"E12", "Figure 10: TAGE family vs neural predictors", E12},
+		{"E13", "Interleaved TAGE-LSC (§7.1)", E13},
+		{"E14", "Eliminating retire reads on TAGE-LSC (§7.2)", E14},
+		{"E15", "Benchmark set characterisation (§2.2)", E15},
+	}
+}
+
+// Lookup finds an experiment by id (case-insensitive).
+func Lookup(id string) (Experiment, bool) {
+	id = strings.ToUpper(strings.TrimSpace(id))
+	for _, e := range Registry() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// Render writes a report as aligned text.
+func Render(w io.Writer, r Report) {
+	fmt.Fprintf(w, "== %s: %s\n", r.ID, r.Title)
+	width := 0
+	for _, row := range r.Rows {
+		if len(row.Label) > width {
+			width = len(row.Label)
+		}
+	}
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "  %-*s  paper=%-12s measured=%s\n", width, row.Label, row.Paper, row.Measured)
+	}
+	for _, c := range r.Checks {
+		status := "PASS"
+		if !c.Pass {
+			status = "FAIL"
+		}
+		fmt.Fprintf(w, "  [%s] %s\n", status, c.Name)
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(w, "  note: %s\n", n)
+	}
+}
+
+// RenderMarkdown writes a report as a markdown section with a table.
+func RenderMarkdown(w io.Writer, r Report) {
+	fmt.Fprintf(w, "### %s — %s\n\n", r.ID, r.Title)
+	fmt.Fprintf(w, "| Quantity | Paper | Measured |\n|---|---|---|\n")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "| %s | %s | %s |\n", row.Label, row.Paper, row.Measured)
+	}
+	fmt.Fprintln(w)
+	for _, c := range r.Checks {
+		mark := "✅"
+		if !c.Pass {
+			mark = "❌"
+		}
+		fmt.Fprintf(w, "- %s %s\n", mark, c.Name)
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(w, "- _%s_\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// SortChecks orders a report's checks by name (stable output for docs).
+func SortChecks(r *Report) {
+	sort.SliceStable(r.Checks, func(a, b int) bool { return r.Checks[a].Name < r.Checks[b].Name })
+}

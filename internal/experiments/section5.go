@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"repro/internal/composed"
+	"repro/internal/predictor"
+	"repro/internal/tage"
+)
+
+func tageIUMRunner() SuiteRunner {
+	return ComposedRunner(func() composed.Config {
+		return composed.TageIUM(tage.Reference(), "TAGE+IUM")
+	})
+}
+
+func tageIUMLoopRunner() SuiteRunner {
+	return ComposedRunner(func() composed.Config {
+		cfg := composed.TageIUM(tage.Reference(), "TAGE+IUM+loop")
+		cfg.UseLoop = true
+		return cfg
+	})
+}
+
+func islRunner() SuiteRunner {
+	return ComposedRunner(func() composed.Config {
+		return composed.ISLTAGE(tage.Reference(), "ISL-TAGE")
+	})
+}
+
+// E5 reproduces Section 5.2: the loop predictor on top of TAGE+IUM.
+// Paper: 611 -> 593 MPPKI, "approximately a 3% reduction of the
+// performance loss".
+func E5(cfg Config) Report {
+	cfg = cfg.withDefaults()
+	r := Report{ID: "E5", Title: "Loop predictor on top of TAGE+IUM (§5.2)"}
+	base := tageIUMRunner()(cfg, cfg.simOptions(predictor.ScenarioA))
+	withLoop := tageIUMLoopRunner()(cfg, cfg.simOptions(predictor.ScenarioA))
+	b, w := base.TotalMPPKI(), withLoop.TotalMPPKI()
+	r.row("TAGE+IUM MPPKI", "611", "%.0f", b)
+	r.row("TAGE+IUM+loop MPPKI", "593", "%.0f", w)
+	r.row("reduction", "-3%", "%s", pct(w-b, b))
+	r.check("loop predictor reduces MPPKI", w < b)
+	r.check("reduction is modest (<15%)", w > b*0.85)
+	return r
+}
+
+// E6 reproduces Section 5.3: the global Statistical Corrector on top of
+// TAGE+IUM+loop. Paper: 593 -> 580 MPPKI ("approximately a 2% reduction").
+func E6(cfg Config) Report {
+	cfg = cfg.withDefaults()
+	r := Report{ID: "E6", Title: "Statistical Corrector on top of TAGE+IUM+loop (§5.3)"}
+	base := tageIUMLoopRunner()(cfg, cfg.simOptions(predictor.ScenarioA))
+	isl := islRunner()(cfg, cfg.simOptions(predictor.ScenarioA))
+	b, w := base.TotalMPPKI(), isl.TotalMPPKI()
+	r.row("TAGE+IUM+loop MPPKI", "593", "%.0f", b)
+	r.row("ISL-TAGE (+SC) MPPKI", "580", "%.0f", w)
+	r.row("reduction", "-2%", "%s", pct(w-b, b))
+	r.check("SC reduces MPPKI", w < b)
+	r.check("reduction is modest (<12%)", w > b*0.88)
+	return r
+}
+
+// E7 reproduces Section 5.4: ISL-TAGE reduces the misprediction rate of
+// the 512Kbit TAGE by ~6%, roughly what scaling TAGE to 2Mbits buys.
+func E7(cfg Config) Report {
+	cfg = cfg.withDefaults()
+	r := Report{ID: "E7", Title: "ISL-TAGE vs scaling TAGE to 2 Mbits (§5.4)"}
+	opts := cfg.simOptions(predictor.ScenarioA)
+	t512 := TAGERunner(false, false)(cfg, opts)
+	isl := islRunner()(cfg, opts)
+	t2m := MakeRunner(func() predictor.Predictor[tage.Ctx] {
+		return tage.New(tage.Scale(tage.Reference(), 2))
+	})(cfg, opts)
+	a, b, c := t512.TotalMPPKI(), isl.TotalMPPKI(), t2m.TotalMPPKI()
+	r.row("TAGE 512Kb MPPKI", "617", "%.0f", a)
+	r.row("ISL-TAGE 512Kb MPPKI", "580", "%.0f", b)
+	r.row("TAGE 2Mb MPPKI", "~580", "%.0f", c)
+	r.row("ISL-TAGE gain over TAGE", "-6%", "%s", pct(b-a, a))
+	r.check("ISL-TAGE beats same-size TAGE", b < a)
+	r.check("side predictors worth roughly a 4x size scaling",
+		b <= a && (c >= b*0.85 || b <= c*1.15))
+	return r
+}

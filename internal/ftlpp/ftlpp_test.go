@@ -1,0 +1,121 @@
+package ftlpp
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func runImmediate(p *Predictor, pcs []uint64, outs []bool) (late int) {
+	var ctx Ctx
+	half := len(pcs) / 2
+	for i := range pcs {
+		pred := p.Predict(pcs[i], &ctx)
+		if pred != outs[i] && i >= half {
+			late++
+		}
+		p.OnResolve(pcs[i], outs[i], pred != outs[i], &ctx)
+		p.Retire(pcs[i], outs[i], &ctx, true)
+	}
+	return
+}
+
+func TestLearnsBias(t *testing.T) {
+	p := New(Config{})
+	n := 3000
+	pcs := make([]uint64, n)
+	outs := make([]bool, n)
+	for i := range pcs {
+		pcs[i] = 0x4000
+		outs[i] = true
+	}
+	if late := runImmediate(p, pcs, outs); late > 10 {
+		t.Fatalf("late mispredicts: %d", late)
+	}
+}
+
+// TestLocalSideCapturesLocalPattern: the fused local tables must learn a
+// per-branch pattern even when the global context is noisy — the "fused
+// two-level" advantage.
+func TestLocalSideCapturesLocalPattern(t *testing.T) {
+	p := New(Config{})
+	r := rng.NewXoshiro(3)
+	pattern := []bool{true, true, false, true, false, false}
+	var ctx Ctx
+	late, total := 0, 0
+	const rounds = 20000
+	for i := 0; i < rounds; i++ {
+		// Noise branch scrambles global history.
+		noise := r.Bool(0.5)
+		pred := p.Predict(0x100, &ctx)
+		p.OnResolve(0x100, noise, pred != noise, &ctx)
+		p.Retire(0x100, noise, &ctx, true)
+
+		out := pattern[i%len(pattern)]
+		pred = p.Predict(0x200, &ctx)
+		if i > rounds/2 {
+			total++
+			if pred != out {
+				late++
+			}
+		}
+		p.OnResolve(0x200, out, pred != out, &ctx)
+		p.Retire(0x200, out, &ctx, true)
+	}
+	rate := float64(late) / float64(total)
+	if rate > 0.15 {
+		t.Fatalf("local pattern late rate = %.3f", rate)
+	}
+}
+
+// TestGlobalSideCapturesGlobalPattern: the global tables handle
+// path-correlated behaviour.
+func TestGlobalSideCapturesGlobalPattern(t *testing.T) {
+	p := New(Config{})
+	var ctx Ctx
+	late, total := 0, 0
+	const n = 30000
+	for i := 0; i < n; i++ {
+		out := i%7 == 0
+		pred := p.Predict(0x300, &ctx)
+		if i > n/2 {
+			total++
+			if pred != out {
+				late++
+			}
+		}
+		p.OnResolve(0x300, out, pred != out, &ctx)
+		p.Retire(0x300, out, &ctx, true)
+	}
+	rate := float64(late) / float64(total)
+	if rate > 0.05 {
+		t.Fatalf("global pattern late rate = %.3f", rate)
+	}
+}
+
+func TestStorageBudget(t *testing.T) {
+	p := New(Config{})
+	kb := p.StorageBits() / 1024
+	if kb < 300 || kb > 600 {
+		t.Fatalf("storage = %d Kbit, outside the 512Kbit class", kb)
+	}
+}
+
+func TestTooManyTablesPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(Config{GlobalTables: MaxTables + 1})
+}
+
+func TestFoldLocalBounded(t *testing.T) {
+	for _, width := range []uint{4, 8, 12} {
+		for h := uint32(0); h < 1000; h += 7 {
+			if v := foldLocal(h, width); v >= 1<<width {
+				t.Fatalf("fold out of range: %#x width %d", v, width)
+			}
+		}
+	}
+}

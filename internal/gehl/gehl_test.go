@@ -1,0 +1,167 @@
+package gehl
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// runImmediate drives a predictor with oracle (immediate) update.
+func runImmediate(p *Predictor, pcs []uint64, outcomes []bool) (mispredicts int) {
+	var ctx Ctx
+	for i := range pcs {
+		pred := p.Predict(pcs[i], &ctx)
+		if pred != outcomes[i] {
+			mispredicts++
+		}
+		p.OnResolve(pcs[i], outcomes[i], pred != outcomes[i], &ctx)
+		p.Retire(pcs[i], outcomes[i], &ctx, true)
+	}
+	return mispredicts
+}
+
+func TestStorageBudget520Kbits(t *testing.T) {
+	// Section 4.1.1: "13 tables, 5 bit entries and 8K entries per table
+	// ... a total of 520 Kbits".
+	p := New(Config{})
+	if got := p.StorageBits(); got != 520*1024 {
+		t.Fatalf("StorageBits = %d, want %d", got, 520*1024)
+	}
+}
+
+func TestLearnsAlwaysTaken(t *testing.T) {
+	p := New(Config{NumTables: 5, LogEntries: 8, MaxHist: 50})
+	n := 500
+	pcs := make([]uint64, n)
+	outs := make([]bool, n)
+	for i := range pcs {
+		pcs[i] = 0x4000
+		outs[i] = true
+	}
+	m := runImmediate(p, pcs, outs)
+	if m > 20 {
+		t.Fatalf("%d mispredicts on an always-taken branch", m)
+	}
+}
+
+// TestLearnsMajorityFunction exercises the defining strength of
+// adder-tree predictors: outcomes that are a linear (majority) function of
+// history bits are learned even though the number of distinct history
+// patterns is astronomically large.
+func TestLearnsMajorityFunction(t *testing.T) {
+	p := New(Config{NumTables: 8, LogEntries: 10, MinHist: 2, MaxHist: 40})
+	r := rng.NewXoshiro(1)
+	const n = 30000
+	var hist []bool
+	mispredLate := 0
+	var ctx Ctx
+	for i := 0; i < n; i++ {
+		// A noisy source branch plus a majority-reading branch.
+		src := r.Bool(0.5)
+		pcSrc := uint64(0x100)
+		pred := p.Predict(pcSrc, &ctx)
+		p.OnResolve(pcSrc, src, pred != src, &ctx)
+		p.Retire(pcSrc, src, &ctx, true)
+		hist = append(hist, src)
+
+		if len(hist) >= 9 {
+			cnt := 0
+			for _, h := range hist[len(hist)-9:] {
+				if h {
+					cnt++
+				}
+			}
+			out := cnt >= 5
+			pcMaj := uint64(0x200)
+			pred := p.Predict(pcMaj, &ctx)
+			if i > n/2 && pred != out {
+				mispredLate++
+			}
+			p.OnResolve(pcMaj, out, pred != out, &ctx)
+			p.Retire(pcMaj, out, &ctx, true)
+		}
+	}
+	rate := float64(mispredLate) / float64(n/2)
+	// The adder tree learns the (noisy, interleaved) majority function to
+	// well under the 50% chance level; exact-pattern predictors cannot.
+	if rate > 0.15 {
+		t.Fatalf("majority-function misprediction rate = %.3f, want < 0.15", rate)
+	}
+}
+
+func TestThresholdAdaptsAndStaysPositive(t *testing.T) {
+	p := New(Config{NumTables: 4, LogEntries: 6, MaxHist: 16})
+	r := rng.NewXoshiro(3)
+	var ctx Ctx
+	for i := 0; i < 20000; i++ {
+		pc := uint64(0x40 + (i%13)*4)
+		out := r.Bool(0.5) // pure noise drives threshold churn
+		pred := p.Predict(pc, &ctx)
+		p.OnResolve(pc, out, pred != out, &ctx)
+		p.Retire(pc, out, &ctx, true)
+	}
+	if p.eng.Threshold() < 1 {
+		t.Fatalf("threshold = %d, must stay >= 1", p.eng.Threshold())
+	}
+}
+
+func TestEngineSum(t *testing.T) {
+	ctrs := []int8{0, -1, 3, -4}
+	// centered: 1, -1, 7, -7 -> 0
+	if s := Sum(ctrs, 4); s != 0 {
+		t.Fatalf("Sum = %d, want 0", s)
+	}
+	if s := Sum(ctrs, 3); s != 7 {
+		t.Fatalf("Sum(3) = %d, want 7", s)
+	}
+}
+
+func TestEngineTrainSaturation(t *testing.T) {
+	e := NewEngine(Config{NumTables: 2, LogEntries: 4, CtrBits: 5}, []int{0, 4}, nil)
+	for i := 0; i < 100; i++ {
+		e.Train(0, 3, e.Read(0, 3), true)
+	}
+	if e.Read(0, 3) != 15 {
+		t.Fatalf("counter = %d, want saturation at 15", e.Read(0, 3))
+	}
+	for i := 0; i < 200; i++ {
+		e.Train(0, 3, e.Read(0, 3), false)
+	}
+	if e.Read(0, 3) != -16 {
+		t.Fatalf("counter = %d, want saturation at -16", e.Read(0, 3))
+	}
+}
+
+func TestEngineSilentWrites(t *testing.T) {
+	e := NewEngine(Config{NumTables: 1, LogEntries: 4, CtrBits: 5}, []int{0}, nil)
+	for i := 0; i < 50; i++ {
+		e.Train(0, 1, e.Read(0, 1), true)
+	}
+	st := e.Stats()
+	if st.SilentSkipped == 0 {
+		t.Fatal("saturated training must produce silent writes")
+	}
+	if st.EntryWrites != 15 {
+		t.Fatalf("effective writes = %d, want 15 (1 through 15)", st.EntryWrites)
+	}
+}
+
+func TestIndexWithinRange(t *testing.T) {
+	e := NewEngine(Config{NumTables: 3, LogEntries: 7}, []int{0, 5, 10}, nil)
+	r := rng.NewXoshiro(9)
+	for i := 0; i < 10000; i++ {
+		idx := e.Index(i%3, uint64(r.Uint32()), r.Uint32(), r.Uint32())
+		if idx >= 128 {
+			t.Fatalf("index %d out of range", idx)
+		}
+	}
+}
+
+func TestTooManyTablesPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for too many tables")
+		}
+	}()
+	New(Config{NumTables: MaxTables + 1})
+}

@@ -1,0 +1,161 @@
+package neural
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func runImmediate(p *Predictor, pcs []uint64, outs []bool) (late int) {
+	var ctx Ctx
+	half := len(pcs) / 2
+	for i := range pcs {
+		pred := p.Predict(pcs[i], &ctx)
+		if pred != outs[i] && i >= half {
+			late++
+		}
+		p.OnResolve(pcs[i], outs[i], pred != outs[i], &ctx)
+		p.Retire(pcs[i], outs[i], &ctx, true)
+	}
+	return
+}
+
+func TestLearnsBias(t *testing.T) {
+	p := New(Config{})
+	n := 3000
+	pcs := make([]uint64, n)
+	outs := make([]bool, n)
+	for i := range pcs {
+		pcs[i] = 0x4000
+		outs[i] = true
+	}
+	if late := runImmediate(p, pcs, outs); late > 10 {
+		t.Fatalf("late mispredicts on always-taken: %d", late)
+	}
+}
+
+// TestLearnsMajorityOfNoise is the neural predictor's defining strength
+// (Figure 10): a linearly separable function of noisy history bits.
+func TestLearnsMajorityOfNoise(t *testing.T) {
+	p := New(Config{})
+	r := rng.NewXoshiro(1)
+	var hist []bool
+	var ctx Ctx
+	late, total := 0, 0
+	const n = 40000
+	for i := 0; i < n; i++ {
+		src := r.Bool(0.5)
+		pred := p.Predict(0x100, &ctx)
+		p.OnResolve(0x100, src, pred != src, &ctx)
+		p.Retire(0x100, src, &ctx, true)
+		hist = append(hist, src)
+
+		if len(hist) >= 11 {
+			cnt := 0
+			for _, h := range hist[len(hist)-11:] {
+				if h {
+					cnt++
+				}
+			}
+			out := cnt >= 6
+			pred := p.Predict(0x200, &ctx)
+			if i > n/2 {
+				total++
+				if pred != out {
+					late++
+				}
+			}
+			p.OnResolve(0x200, out, pred != out, &ctx)
+			p.Retire(0x200, out, &ctx, true)
+		}
+	}
+	rate := float64(late) / float64(total)
+	if rate > 0.12 {
+		t.Fatalf("majority late rate = %.3f, want well below chance", rate)
+	}
+}
+
+// TestLearnsCopyDistance: a single-weight correlation.
+func TestLearnsCopyDistance(t *testing.T) {
+	p := New(Config{})
+	r := rng.NewXoshiro(5)
+	var hist []bool
+	var ctx Ctx
+	late, total := 0, 0
+	const n = 30000
+	const dist = 5
+	for i := 0; i < n; i++ {
+		src := r.Bool(0.5)
+		pred := p.Predict(0x300, &ctx)
+		p.OnResolve(0x300, src, pred != src, &ctx)
+		p.Retire(0x300, src, &ctx, true)
+		hist = append(hist, src)
+		if len(hist) > dist {
+			out := hist[len(hist)-dist]
+			pred := p.Predict(0x400, &ctx)
+			if i > n/2 {
+				total++
+				if pred != out {
+					late++
+				}
+			}
+			p.OnResolve(0x400, out, pred != out, &ctx)
+			p.Retire(0x400, out, &ctx, true)
+		}
+	}
+	rate := float64(late) / float64(total)
+	if rate > 0.10 {
+		t.Fatalf("copy-distance late rate = %.3f", rate)
+	}
+}
+
+func TestWeightsClamped(t *testing.T) {
+	p := New(Config{LogPC: 4, LogPath: 2, Hist: 8, WeightBits: 6})
+	var ctx Ctx
+	for i := 0; i < 5000; i++ {
+		p.Predict(0x40, &ctx)
+		p.OnResolve(0x40, true, false, &ctx)
+		p.Retire(0x40, true, &ctx, true)
+	}
+	max := int8(31)
+	min := int8(-32)
+	for _, w := range p.w {
+		if w > max || w < min {
+			t.Fatalf("weight %d outside [%d, %d]", w, min, max)
+		}
+	}
+}
+
+func TestThresholdStaysPositive(t *testing.T) {
+	p := New(Config{LogPC: 4, Hist: 6})
+	r := rng.NewXoshiro(9)
+	var ctx Ctx
+	for i := 0; i < 20000; i++ {
+		pc := uint64(0x40 + (i%5)*16)
+		taken := r.Bool(0.5)
+		pred := p.Predict(pc, &ctx)
+		p.OnResolve(pc, taken, pred != taken, &ctx)
+		p.Retire(pc, taken, &ctx, true)
+	}
+	if p.theta < 1 {
+		t.Fatalf("threshold = %d", p.theta)
+	}
+}
+
+func TestStorageBudget(t *testing.T) {
+	p := New(Config{})
+	kb := p.StorageBits() / 1024
+	// The comparator is a 512Kbit-class predictor.
+	if kb < 200 || kb > 600 {
+		t.Fatalf("storage = %d Kbit, outside the comparison class", kb)
+	}
+}
+
+func TestHistoryTooLongPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(Config{Hist: MaxHist + 1})
+}

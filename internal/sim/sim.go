@@ -1,0 +1,269 @@
+// Package sim is the trace-driven pipeline simulator reproducing the
+// CBP-3-style evaluation framework of Section 2: branches are predicted at
+// fetch, resolved at execute, and the predictor tables are updated at
+// retire time, with the four update-timing scenarii of Section 4.1.2
+// ([I] oracle, [A] re-read at retire, [B] fetch-read only, [C] re-read on
+// mispredictions only).
+//
+// The pipeline model is branch-granular: an in-flight window of up to
+// Window branches separates fetch from retire, and a misprediction drains
+// the pipeline (the refetched path reaches the predictor only after older
+// branches have largely retired), shrinking the effective update delay to
+// ExecDelay for the branches in flight at the misprediction.
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/memarray"
+	"repro/internal/predictor"
+	"repro/internal/trace"
+)
+
+// Options configures one simulation run.
+type Options struct {
+	// Scenario selects the update-timing policy (default ScenarioA).
+	Scenario predictor.Scenario
+	// Window is the maximum number of in-flight branches between fetch and
+	// retire (default 24; roughly a 192-µop ROB at 8 µops/branch).
+	Window int
+	// ExecDelay is the fetch-to-execute distance in branches: how long the
+	// outcome of a branch stays unknown to younger fetches (default 6).
+	// It also bounds the post-misprediction drain latency.
+	ExecDelay int
+	// PenaltyBase is the misprediction penalty in cycles used by the MPPKI
+	// metric (default 20). The paper notes MPPKI is globally proportional
+	// to the misprediction count; we keep the penalty model simple.
+	PenaltyBase float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Window == 0 {
+		o.Window = 24
+	}
+	if o.ExecDelay == 0 {
+		o.ExecDelay = 6
+	}
+	if o.PenaltyBase == 0 {
+		o.PenaltyBase = 20
+	}
+	return o
+}
+
+// Result reports the outcome of simulating one trace.
+type Result struct {
+	Trace         string
+	Category      string
+	Predictor     string
+	Scenario      predictor.Scenario
+	Branches      uint64
+	MicroOps      uint64
+	Mispredicts   uint64
+	MPKI          float64 // mispredictions per kilo-µop
+	MPPKI         float64 // misprediction penalty per kilo-µop
+	Access        memarray.Stats
+	Misprediction float64 // misprediction rate per branch
+}
+
+func (r Result) String() string {
+	return fmt.Sprintf("%-10s %-8s %s MPKI=%6.3f MPPKI=%7.2f mr=%5.2f%%",
+		r.Trace, r.Predictor, r.Scenario, r.MPKI, r.MPPKI, 100*r.Misprediction)
+}
+
+type inflight[C any] struct {
+	pc       uint64
+	taken    bool
+	mispred  bool
+	retireAt uint64
+	ctx      C
+}
+
+// Run simulates predictor p over the branches of src. The predictor must
+// be freshly constructed (no state reuse across runs).
+func Run[C any](p predictor.Predictor[C], name, category string, src trace.Source, opt Options) Result {
+	opt = opt.withDefaults()
+	stats := p.AccessStats()
+
+	window := opt.Window
+	if opt.Scenario == predictor.ScenarioI {
+		window = 0
+	}
+	cap := window + 2
+	ring := make([]inflight[C], cap)
+	head, tail := 0, 0 // head = oldest, tail = next insert slot
+	count := 0
+
+	var (
+		seq        uint64
+		branches   uint64
+		microOps   uint64
+		mispreds   uint64
+		penaltySum float64
+	)
+
+	retireOne := func() {
+		e := &ring[head]
+		reread := false
+		switch opt.Scenario {
+		case predictor.ScenarioI, predictor.ScenarioA:
+			reread = true
+		case predictor.ScenarioB:
+			reread = false
+		case predictor.ScenarioC:
+			reread = e.mispred
+		}
+		if reread && opt.Scenario != predictor.ScenarioI {
+			stats.RetireReads++
+		}
+		writesBefore := stats.EntryWrites
+		p.Retire(e.pc, e.taken, &e.ctx, reread)
+		if stats.EntryWrites != writesBefore {
+			stats.WriteEvents++
+		}
+		stats.RetiredBranch++
+		head = (head + 1) % cap
+		count--
+	}
+
+	for {
+		b, ok := src.Next()
+		if !ok {
+			break
+		}
+		// Retire branches whose time has come (in order).
+		for count > 0 && ring[head].retireAt <= seq {
+			retireOne()
+		}
+		// Ring must have room: window+2 slots for window in-flight.
+		if count >= cap-1 {
+			retireOne()
+		}
+
+		e := &ring[tail]
+		tail = (tail + 1) % cap
+		count++
+
+		e.pc = b.PC
+		e.taken = b.Taken
+		pred := p.Predict(b.PC, &e.ctx)
+		stats.PredictReads++
+		e.mispred = pred != b.Taken
+
+		branches++
+		microOps += uint64(b.OpsBefore) + 1
+
+		p.OnResolve(b.PC, b.Taken, e.mispred, &e.ctx)
+
+		e.retireAt = seq + uint64(window)
+		if e.mispred {
+			mispreds++
+			stats.Mispredictions++
+			penaltySum += opt.PenaltyBase
+			// Pipeline drain: everything in flight (including this branch)
+			// retires within ExecDelay fetch slots of the resolution.
+			drainAt := seq + uint64(opt.ExecDelay)
+			for i, n := head, count; n > 0; i, n = (i+1)%cap, n-1 {
+				if ring[i].retireAt > drainAt {
+					ring[i].retireAt = drainAt
+				}
+			}
+		}
+		seq++
+	}
+	// Drain the pipeline at trace end.
+	for count > 0 {
+		retireOne()
+	}
+
+	res := Result{
+		Trace:       name,
+		Category:    category,
+		Predictor:   p.Name(),
+		Scenario:    opt.Scenario,
+		Branches:    branches,
+		MicroOps:    microOps,
+		Mispredicts: mispreds,
+		Access:      *stats,
+	}
+	if microOps > 0 {
+		kilo := float64(microOps) / 1000
+		res.MPKI = float64(mispreds) / kilo
+		res.MPPKI = penaltySum / kilo
+	}
+	if branches > 0 {
+		res.Misprediction = float64(mispreds) / float64(branches)
+	}
+	return res
+}
+
+// RunTrace is a convenience wrapper over Run for materialised traces.
+func RunTrace[C any](p predictor.Predictor[C], tr *trace.Trace, opt Options) Result {
+	return Run(p, tr.Name, tr.Category, tr.Reader(), opt)
+}
+
+// Suite aggregates per-trace results the way the paper reports them: the
+// suite MPPKI is the sum of the per-trace MPPKI values over the benchmark
+// set (40 per-trace values of ~15–25 summing to the ~600-range totals the
+// paper quotes).
+type Suite struct {
+	Results []Result
+}
+
+// Add appends a per-trace result.
+func (s *Suite) Add(r Result) { s.Results = append(s.Results, r) }
+
+// TotalMPPKI returns the summed MPPKI over all traces.
+func (s *Suite) TotalMPPKI() float64 {
+	t := 0.0
+	for _, r := range s.Results {
+		t += r.MPPKI
+	}
+	return t
+}
+
+// TotalMPKI returns the summed MPKI over all traces.
+func (s *Suite) TotalMPKI() float64 {
+	t := 0.0
+	for _, r := range s.Results {
+		t += r.MPKI
+	}
+	return t
+}
+
+// TotalMispredictions sums raw misprediction counts.
+func (s *Suite) TotalMispredictions() uint64 {
+	var t uint64
+	for _, r := range s.Results {
+		t += r.Mispredicts
+	}
+	return t
+}
+
+// AccessTotals sums access statistics across traces.
+func (s *Suite) AccessTotals() memarray.Stats {
+	var t memarray.Stats
+	for _, r := range s.Results {
+		t.Add(r.Access)
+	}
+	return t
+}
+
+// ByCategory returns summed MPPKI per benchmark category.
+func (s *Suite) ByCategory() map[string]float64 {
+	m := make(map[string]float64)
+	for _, r := range s.Results {
+		m[r.Category] += r.MPPKI
+	}
+	return m
+}
+
+// Subset returns a suite restricted to the named traces.
+func (s *Suite) Subset(names map[string]bool) *Suite {
+	out := &Suite{}
+	for _, r := range s.Results {
+		if names[r.Trace] {
+			out.Add(r)
+		}
+	}
+	return out
+}

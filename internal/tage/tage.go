@@ -1,0 +1,590 @@
+// Package tage implements the TAGE conditional branch predictor of Seznec
+// and Michaud (JILP 2006) as configured in the paper (Section 3): a
+// bimodal base predictor T0 backed by M partially-tagged components indexed
+// with geometrically increasing global history lengths. It includes the
+// paper's refinements: the single-u-bit usefulness policy with global reset
+// driven by an 8-bit allocation success/failure counter (Section 3.2.2),
+// multi-entry allocation on non-consecutive tables (Section 3.2.1), the
+// USE_ALT_ON_NA newly-allocated-provider heuristic, optional 4-way
+// bank-interleaved table addressing (Section 4.3), and an optional
+// Immediate Update Mimicker (Section 5.1).
+package tage
+
+import (
+	"fmt"
+
+	"repro/internal/bimodal"
+	"repro/internal/bitutil"
+	"repro/internal/histories"
+	"repro/internal/ium"
+	"repro/internal/memarray"
+	"repro/internal/rng"
+)
+
+// MaxTables bounds the number of tagged components so that pipeline
+// contexts are fixed-size.
+const MaxTables = 16
+
+// CtrBits is the tagged-component prediction counter width (3 bits,
+// Figure 2).
+const CtrBits = 3
+
+// Config parameterises a TAGE predictor.
+type Config struct {
+	// Name labels the configuration in reports (optional).
+	Name string
+	// LogBimodal is log2 of the number of bimodal prediction bits
+	// (default 15 = 32K); LogBimodalHyst of the shared hysteresis bits
+	// (default LogBimodal-2).
+	LogBimodal     uint
+	LogBimodalHyst uint
+	// MinHist and MaxHist span the geometric history series over the
+	// tagged tables (defaults 6 and 2000, the paper's reference).
+	MinHist, MaxHist int
+	// TableLogs gives log2(entries) for each tagged table T1..TM.
+	TableLogs []uint
+	// TagBits gives the partial tag width for each tagged table.
+	TagBits []uint
+	// MaxAlloc is the maximum number of entries allocated on a
+	// misprediction (Section 3.2.1: "up to 3 or 4"; default 4).
+	MaxAlloc int
+	// Seed drives the allocation tie-breaking randomisation.
+	Seed uint64
+	// Interleaved enables 4-way bank-interleaved single-ported table
+	// addressing (Section 4.3): the bank becomes part of the entry
+	// identity, chosen by the EV8-style neighbour-avoiding selector.
+	Interleaved bool
+	// UseIUM attaches an Immediate Update Mimicker (Section 5.1).
+	UseIUM bool
+	// IUMCapacity and IUMExecDelay size the IUM (defaults 64 and 6); the
+	// exec delay should match the simulator's fetch-to-execute distance.
+	IUMCapacity  int
+	IUMExecDelay int
+}
+
+func (c Config) withDefaults() Config {
+	if c.LogBimodal == 0 {
+		c.LogBimodal = 15
+	}
+	if c.LogBimodalHyst == 0 {
+		c.LogBimodalHyst = c.LogBimodal - 2
+	}
+	if c.MinHist == 0 {
+		c.MinHist = 6
+	}
+	if c.MaxHist == 0 {
+		c.MaxHist = 2000
+	}
+	if c.MaxAlloc == 0 {
+		c.MaxAlloc = 4
+	}
+	if c.IUMCapacity == 0 {
+		c.IUMCapacity = 64
+	}
+	if c.IUMExecDelay == 0 {
+		c.IUMExecDelay = 6
+	}
+	if len(c.TableLogs) == 0 {
+		panic("tage: no tagged tables configured")
+	}
+	if len(c.TableLogs) > MaxTables {
+		panic("tage: too many tagged tables")
+	}
+	if len(c.TagBits) != len(c.TableLogs) {
+		panic("tage: TagBits/TableLogs length mismatch")
+	}
+	return c
+}
+
+// Reference returns the paper's reference predictor (Section 3.4): a
+// 13-component TAGE fitting the 64KB CBP-3 budget — bimodal 32K+8K bits,
+// 12 tagged tables with a (6,2000) geometric series, sizes 2K/4K.../1K and
+// tag widths min(5+i, 15), for 523,264 bits = 65,408 bytes total.
+//
+// (The paper prints the tag-width rule as "max(6+i, 15)", which cannot
+// match the stated byte budget; min(5+i, 15) matches it exactly.)
+func Reference() Config {
+	logs := []uint{11, 12, 12, 12, 12, 12, 12, 11, 11, 10, 10, 10}
+	tags := make([]uint, len(logs))
+	for i := range tags {
+		t := uint(5 + i + 1) // table number is i+1
+		if t > 15 {
+			t = 15
+		}
+		tags[i] = t
+	}
+	return Config{
+		Name:      "TAGE-ref",
+		TableLogs: logs,
+		TagBits:   tags,
+		MinHist:   6,
+		MaxHist:   2000,
+	}
+}
+
+// Scale returns cfg with every table size multiplied by 2^deltaLog
+// (bimodal included), the Figure 9 scaling protocol: "scaling the sizes of
+// all the components by a power of two, no attempt to optimize other
+// parameters".
+func Scale(cfg Config, deltaLog int) Config {
+	out := cfg
+	out.TableLogs = make([]uint, len(cfg.TableLogs))
+	for i, l := range cfg.TableLogs {
+		nl := int(l) + deltaLog
+		if nl < 6 {
+			nl = 6
+		}
+		out.TableLogs[i] = uint(nl)
+	}
+	if cfg.LogBimodal == 0 {
+		cfg.LogBimodal = 15
+	}
+	lb := int(cfg.LogBimodal) + deltaLog
+	if lb < 8 {
+		lb = 8
+	}
+	out.LogBimodal = uint(lb)
+	out.LogBimodalHyst = uint(lb - 2)
+	if cfg.Name != "" {
+		out.Name = fmt.Sprintf("%s%+d", cfg.Name, deltaLog)
+	}
+	return out
+}
+
+// entry is one tagged-component entry (Figure 2): 3-bit signed prediction
+// counter, partial tag, single useful bit.
+type entry struct {
+	ctr int8
+	u   uint8
+	tag uint16
+}
+
+// Predictor is a TAGE predictor.
+type Predictor struct {
+	cfg     Config
+	bim     *bimodal.Table
+	tables  [][]entry
+	lengths []int
+	idxBits []uint // log2 entries (full table)
+	tagMask []uint16
+
+	ghist *histories.Global
+	fIdx  []*histories.Folded
+	fTag1 []*histories.Folded
+	fTag2 []*histories.Folded
+
+	useAlt int32  // USE_ALT_ON_NA, 4-bit signed counter
+	tick   uint32 // 8-bit allocation success/failure monitor
+
+	rand  *rng.Xoshiro
+	stats *memarray.Stats
+	banks *memarray.BankTracker // non-nil when interleaved
+	ium   *ium.Buffer           // non-nil when UseIUM
+}
+
+// Ctx is the TAGE pipeline context: everything read at prediction time.
+type Ctx struct {
+	BimIdx  uint32
+	BimCtr  int32
+	Indices [MaxTables]uint32 // physical indices (bank included if interleaved)
+	Tags    [MaxTables]uint16
+	Ctrs    [MaxTables]int8
+	Us      [MaxTables]uint8
+	Hit     [MaxTables]bool
+
+	Provider int // provider component: 0 = bimodal, 1..M = tagged
+	Alt      int // alternate component: 0 = bimodal
+	ProvPred bool
+	AltPred  bool
+	WeakProv bool
+
+	// TagePred is TAGE's own prediction; FinalPred is after the IUM
+	// override (they coincide without IUM).
+	TagePred  bool
+	FinalPred bool
+	IUMUsed   bool
+	IUMHit    bool
+	IUMCtr    int32
+}
+
+// New builds a TAGE predictor from cfg.
+func New(cfg Config) *Predictor {
+	cfg = cfg.withDefaults()
+	m := len(cfg.TableLogs)
+	p := &Predictor{
+		cfg:     cfg,
+		bim:     nil,
+		tables:  make([][]entry, m),
+		lengths: histories.GeometricSeries(cfg.MinHist, cfg.MaxHist, m),
+		idxBits: make([]uint, m),
+		tagMask: make([]uint16, m),
+		ghist:   histories.NewGlobal(cfg.MaxHist + 64),
+		fIdx:    make([]*histories.Folded, m),
+		fTag1:   make([]*histories.Folded, m),
+		fTag2:   make([]*histories.Folded, m),
+		rand:    rng.NewXoshiro(cfg.Seed ^ 0x7a6e_0001),
+		stats:   &memarray.Stats{},
+	}
+	p.bim = bimodal.New(cfg.LogBimodal, cfg.LogBimodalHyst, p.stats)
+	for i := 0; i < m; i++ {
+		p.tables[i] = make([]entry, 1<<cfg.TableLogs[i])
+		p.idxBits[i] = cfg.TableLogs[i]
+		p.tagMask[i] = uint16(bitutil.Mask(cfg.TagBits[i]))
+		idxWidth := cfg.TableLogs[i]
+		if cfg.Interleaved {
+			idxWidth -= 2 // index within a bank; bank supplies the top 2 bits
+		}
+		p.fIdx[i] = histories.NewFolded(p.lengths[i], idxWidth)
+		p.fTag1[i] = histories.NewFolded(p.lengths[i], cfg.TagBits[i])
+		w2 := cfg.TagBits[i] - 1
+		if w2 < 1 {
+			w2 = 1
+		}
+		p.fTag2[i] = histories.NewFolded(p.lengths[i], w2)
+	}
+	if cfg.Interleaved {
+		p.banks = memarray.NewBankTracker()
+	}
+	if cfg.UseIUM {
+		p.ium = ium.New(cfg.IUMCapacity, cfg.IUMExecDelay)
+	}
+	return p
+}
+
+// Name implements predictor.Predictor.
+func (p *Predictor) Name() string {
+	if p.cfg.Name != "" {
+		return p.cfg.Name
+	}
+	return fmt.Sprintf("TAGE-%dKb", p.StorageBits()/1024)
+}
+
+// StorageBits implements predictor.Predictor.
+func (p *Predictor) StorageBits() int {
+	bits := p.bim.StorageBits()
+	for i := range p.tables {
+		bits += len(p.tables[i]) * (CtrBits + 1 + int(p.cfg.TagBits[i]))
+	}
+	return bits
+}
+
+// Lengths returns the geometric history series in use.
+func (p *Predictor) Lengths() []int { return p.lengths }
+
+// NumTables returns the number of tagged components.
+func (p *Predictor) NumTables() int { return len(p.tables) }
+
+// IUM returns the attached Immediate Update Mimicker, or nil.
+func (p *Predictor) IUM() *ium.Buffer { return p.ium }
+
+// index computes the physical index into tagged table i (0-based) for pc,
+// given the pre-selected bank (ignored unless interleaved).
+func (p *Predictor) index(i int, pc uint64, bank int) uint32 {
+	h := uint32(pc >> 2)
+	bits := p.idxBits[i]
+	if p.cfg.Interleaved {
+		inner := bits - 2
+		idx := (h ^ (h >> (uint(i%int(inner)) + 1)) ^ p.fIdx[i].Value()) & uint32(bitutil.Mask(inner))
+		return uint32(bank)<<inner | idx
+	}
+	return (h ^ (h >> (uint(i%int(bits)) + 1)) ^ p.fIdx[i].Value()) & uint32(bitutil.Mask(bits))
+}
+
+// tag computes the partial tag for tagged table i.
+func (p *Predictor) tag(i int, pc uint64) uint16 {
+	h := uint32(pc >> 2)
+	return uint16(h^p.fTag1[i].Value()^(p.fTag2[i].Value()<<1)) & p.tagMask[i]
+}
+
+// Predict implements predictor.Predictor.
+func (p *Predictor) Predict(pc uint64, ctx *Ctx) bool {
+	m := len(p.tables)
+	bank := 0
+	if p.banks != nil {
+		bank = p.banks.Select(pc)
+		ctx.BimIdx = p.bim.IndexBanked(pc, bank, memarray.NumBanks)
+	} else {
+		ctx.BimIdx = p.bim.Index(pc)
+	}
+	ctx.BimCtr = p.bim.Read(ctx.BimIdx)
+
+	for i := 0; i < m; i++ {
+		idx := p.index(i, pc, bank)
+		tg := p.tag(i, pc)
+		e := &p.tables[i][idx]
+		ctx.Indices[i] = idx
+		ctx.Tags[i] = tg
+		ctx.Ctrs[i] = e.ctr
+		ctx.Us[i] = e.u
+		ctx.Hit[i] = e.tag == tg
+	}
+	p.selectProviders(ctx)
+	ctx.TagePred = p.computePrediction(ctx)
+
+	ctx.FinalPred = ctx.TagePred
+	ctx.IUMUsed = false
+	ctx.IUMHit = false
+	if p.ium != nil {
+		if c, ok := p.ium.Lookup(ctx.Provider, p.providerIndex(ctx)); ok {
+			ctx.IUMHit = true
+			ctx.IUMCtr = c
+			ctx.FinalPred = c >= 0
+			ctx.IUMUsed = ctx.FinalPred != ctx.TagePred
+		}
+	}
+	return ctx.FinalPred
+}
+
+// providerIndex returns the physical index of the provider entry (the
+// bimodal index when the base predictor provides).
+func (p *Predictor) providerIndex(ctx *Ctx) uint32 {
+	if ctx.Provider > 0 {
+		return ctx.Indices[ctx.Provider-1]
+	}
+	return ctx.BimIdx
+}
+
+// providerSignedCtr returns the provider counter in a signed convention
+// (bimodal 0..3 maps to -2..1) together with its width in bits.
+func providerSignedCtr(ctx *Ctx) (int32, uint) {
+	if ctx.Provider > 0 {
+		return int32(ctx.Ctrs[ctx.Provider-1]), CtrBits
+	}
+	return ctx.BimCtr - 2, 2
+}
+
+// selectProviders fills Provider/Alt/ProvPred/AltPred/WeakProv from the
+// per-table hit data recorded in ctx.
+func (p *Predictor) selectProviders(ctx *Ctx) {
+	m := len(p.tables)
+	ctx.Provider, ctx.Alt = 0, 0
+	for i := m - 1; i >= 0; i-- {
+		if !ctx.Hit[i] {
+			continue
+		}
+		if ctx.Provider == 0 {
+			ctx.Provider = i + 1
+		} else {
+			ctx.Alt = i + 1
+			break
+		}
+	}
+	bimPred := bimodal.Taken(ctx.BimCtr)
+	if ctx.Provider > 0 {
+		c := int32(ctx.Ctrs[ctx.Provider-1])
+		ctx.ProvPred = bitutil.TakenSign(c)
+		ctx.WeakProv = bitutil.IsWeak(c)
+	} else {
+		ctx.ProvPred = bimPred
+		ctx.WeakProv = false
+	}
+	if ctx.Alt > 0 {
+		ctx.AltPred = bitutil.TakenSign(int32(ctx.Ctrs[ctx.Alt-1]))
+	} else {
+		ctx.AltPred = bimPred
+	}
+}
+
+// computePrediction applies the Section 3.1 algorithm: the provider's sign
+// unless the provider counter is weak and USE_ALT_ON_NA is non-negative,
+// in which case the alternate prediction is used.
+func (p *Predictor) computePrediction(ctx *Ctx) bool {
+	if ctx.Provider == 0 {
+		return ctx.ProvPred
+	}
+	if ctx.WeakProv && p.useAlt >= 0 {
+		return ctx.AltPred
+	}
+	return ctx.ProvPred
+}
+
+// OnResolve implements predictor.Predictor: speculative history update
+// (immediate, as hardware repairs history on mispredictions) and IUM
+// bookkeeping.
+func (p *Predictor) OnResolve(pc uint64, taken, mispredicted bool, ctx *Ctx) {
+	if p.ium != nil {
+		base, bits := providerSignedCtr(ctx)
+		if ctx.IUMHit {
+			base = ctx.IUMCtr
+		}
+		p.ium.Push(ctx.Provider, p.providerIndex(ctx), ium.NextCtr(base, taken, bits))
+		if mispredicted {
+			p.ium.OnMispredict()
+		}
+	}
+	p.ghist.Push(taken)
+	for i := range p.fIdx {
+		p.fIdx[i].Update(p.ghist)
+		p.fTag1[i].Update(p.ghist)
+		p.fTag2[i].Update(p.ghist)
+	}
+}
+
+// Retire implements predictor.Predictor: the Section 3.2 update, performed
+// at retire time. With reread the current table contents are consulted
+// (scenarios [A]/[C]-mispredict); without, the values captured in ctx at
+// prediction time are used and written back blindly (scenario [B]), which
+// models the stale-value clobbering of a real fetch-read-only pipeline.
+func (p *Predictor) Retire(pc uint64, taken bool, ctx *Ctx, reread bool) {
+	if p.ium != nil {
+		defer p.ium.PopOldest()
+	}
+
+	provider, alt := ctx.Provider, ctx.Alt
+	provPred, altPred, weak := ctx.ProvPred, ctx.AltPred, ctx.WeakProv
+	bimCtr := ctx.BimCtr
+	readCtr := func(t int) int32 { return int32(ctx.Ctrs[t-1]) }
+	readU := func(t int) uint8 { return ctx.Us[t-1] }
+
+	if reread {
+		// Recompute the whole read from current table state at the same
+		// indices (on the correct path the retire-time history equals the
+		// fetch-time history, so indices and tags are unchanged).
+		bimCtr = p.bim.Read(ctx.BimIdx)
+		provider, alt = 0, 0
+		m := len(p.tables)
+		for i := m - 1; i >= 0; i-- {
+			e := &p.tables[i][ctx.Indices[i]]
+			if e.tag != ctx.Tags[i] {
+				continue
+			}
+			if provider == 0 {
+				provider = i + 1
+			} else {
+				alt = i + 1
+				break
+			}
+		}
+		bimPred := bimodal.Taken(bimCtr)
+		readCtr = func(t int) int32 { return int32(p.tables[t-1][ctx.Indices[t-1]].ctr) }
+		readU = func(t int) uint8 { return p.tables[t-1][ctx.Indices[t-1]].u }
+		if provider > 0 {
+			c := readCtr(provider)
+			provPred = bitutil.TakenSign(c)
+			weak = bitutil.IsWeak(c)
+		} else {
+			provPred = bimPred
+			weak = false
+		}
+		if alt > 0 {
+			altPred = bitutil.TakenSign(readCtr(alt))
+		} else {
+			altPred = bimPred
+		}
+	}
+
+	mispredicted := ctx.TagePred != taken
+
+	// (1) Update the provider component's prediction counter; when the
+	// provider is weak also train the alternate (helps newly allocated
+	// entries hand over cleanly).
+	if provider > 0 {
+		p.writeCtr(provider, ctx.Indices[provider-1], bitutil.SatUpdateSigned(readCtr(provider), taken, CtrBits))
+		if weak {
+			if alt > 0 {
+				p.writeCtr(alt, ctx.Indices[alt-1], bitutil.SatUpdateSigned(readCtr(alt), taken, CtrBits))
+			} else {
+				p.bim.Write(ctx.BimIdx, bimodal.Next(bimCtr, taken))
+			}
+			// USE_ALT_ON_NA: monitor whether the alternate beats a weak
+			// provider.
+			if provPred != altPred {
+				if altPred == taken {
+					p.useAlt = bitutil.SatIncSigned(p.useAlt, 4)
+				} else {
+					p.useAlt = bitutil.SatDecSigned(p.useAlt, 4)
+				}
+			}
+		}
+		// u is set when the provider was correct and the alternate was
+		// wrong (Section 3.2.2).
+		if provPred != altPred && provPred == taken {
+			p.writeU(provider, ctx.Indices[provider-1], 1)
+		}
+	} else {
+		p.bim.Write(ctx.BimIdx, bimodal.Next(bimCtr, taken))
+	}
+
+	// (2) Allocate new entries on a misprediction (Section 3.2.1): up to
+	// MaxAlloc entries on non-consecutive tables above the provider,
+	// chosen among useless (u == 0) entries.
+	if mispredicted && provider < len(p.tables) {
+		p.allocate(ctx, provider, taken, readU)
+	}
+}
+
+// writeCtr writes a tagged-entry counter with silent-write elimination.
+func (p *Predictor) writeCtr(table int, idx uint32, v int32) {
+	e := &p.tables[table-1][idx]
+	if e.ctr != int8(v) {
+		e.ctr = int8(v)
+		p.stats.RecordWrite(true)
+	} else {
+		p.stats.RecordWrite(false)
+	}
+}
+
+// writeU writes a tagged-entry useful bit with silent-write elimination.
+func (p *Predictor) writeU(table int, idx uint32, v uint8) {
+	e := &p.tables[table-1][idx]
+	if e.u != v {
+		e.u = v
+		p.stats.RecordWrite(true)
+	} else {
+		p.stats.RecordWrite(false)
+	}
+}
+
+// allocate implements the multi-entry allocation policy with the 8-bit
+// success/failure monitor driving global u-bit resets.
+func (p *Predictor) allocate(ctx *Ctx, provider int, taken bool, readU func(int) uint8) {
+	m := len(p.tables)
+	start := provider + 1
+	// Randomise the starting table by one position to avoid systematically
+	// starving longer-history tables.
+	if start < m && p.rand.Uint64()&1 == 1 {
+		start++
+	}
+	allocated := 0
+	for t := start; t <= m && allocated < p.cfg.MaxAlloc; {
+		if readU(t) == 0 {
+			idx := ctx.Indices[t-1]
+			e := &p.tables[t-1][idx]
+			e.tag = ctx.Tags[t-1]
+			e.ctr = int8(bitutil.WeakTaken)
+			if !taken {
+				e.ctr = int8(bitutil.WeakNotTaken)
+			}
+			e.u = 0
+			p.stats.RecordWrite(true)
+			allocated++
+			p.tick = bitutil.SatDecUnsigned(p.tick) // success
+			t += 2                                  // non-consecutive tables
+		} else {
+			p.tick = bitutil.SatIncUnsigned(p.tick, 8) // failure
+			t++
+		}
+	}
+	// Global reset when failures dominate (counter saturated high).
+	if p.tick >= 255 {
+		for i := range p.tables {
+			for j := range p.tables[i] {
+				p.tables[i][j].u = 0
+			}
+		}
+		p.tick = 0
+	}
+}
+
+// AccessStats implements predictor.Predictor.
+func (p *Predictor) AccessStats() *memarray.Stats { return p.stats }
+
+// TableBits returns the per-structure storage in bits (bimodal first, then
+// each tagged table), for the area/energy model.
+func (p *Predictor) TableBits() []int {
+	out := []int{p.bim.StorageBits()}
+	for i := range p.tables {
+		out = append(out, len(p.tables[i])*(CtrBits+1+int(p.cfg.TagBits[i])))
+	}
+	return out
+}

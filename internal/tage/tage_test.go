@@ -1,0 +1,376 @@
+package tage
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// smallConfig is a fast configuration for behavioural tests.
+func smallConfig() Config {
+	return Config{
+		Name:       "TAGE-test",
+		LogBimodal: 12,
+		TableLogs:  []uint{9, 9, 9, 9, 9, 9},
+		TagBits:    []uint{8, 9, 10, 11, 12, 12},
+		MinHist:    4,
+		MaxHist:    128,
+		Seed:       1,
+	}
+}
+
+// runImmediate drives the predictor with oracle update and returns the
+// misprediction count over the second half of the run (post-warmup).
+func runImmediate(p *Predictor, pcs []uint64, outs []bool) (late int) {
+	var ctx Ctx
+	half := len(pcs) / 2
+	for i := range pcs {
+		pred := p.Predict(pcs[i], &ctx)
+		if pred != outs[i] && i >= half {
+			late++
+		}
+		p.OnResolve(pcs[i], outs[i], pred != outs[i], &ctx)
+		p.Retire(pcs[i], outs[i], &ctx, true)
+	}
+	return late
+}
+
+func TestReferenceBudgetMatchesPaper(t *testing.T) {
+	// Section 3.4: "a total of 65,408 bytes of storage".
+	p := New(Reference())
+	if got := p.StorageBits(); got != 65408*8 {
+		t.Fatalf("reference storage = %d bits (%d bytes), want 65408 bytes",
+			got, got/8)
+	}
+}
+
+func TestReferenceGeometricSeries(t *testing.T) {
+	p := New(Reference())
+	l := p.Lengths()
+	if l[0] != 6 || l[len(l)-1] != 2000 {
+		t.Fatalf("series endpoints = %d..%d, want 6..2000", l[0], l[len(l)-1])
+	}
+	for i := 1; i < len(l); i++ {
+		if l[i] <= l[i-1] {
+			t.Fatalf("series not increasing at %d: %v", i, l)
+		}
+	}
+}
+
+func TestLearnsAlwaysTaken(t *testing.T) {
+	p := New(smallConfig())
+	n := 1000
+	pcs := make([]uint64, n)
+	outs := make([]bool, n)
+	for i := range pcs {
+		pcs[i] = 0x4000
+		outs[i] = true
+	}
+	if late := runImmediate(p, pcs, outs); late > 2 {
+		t.Fatalf("%d late mispredicts on always-taken branch", late)
+	}
+}
+
+// TestLearnsLongPeriodPattern is TAGE's defining strength (Section 3):
+// periodic behaviour with a long period is captured through long-history
+// tag matching, where a bimodal or short-history predictor fails.
+func TestLearnsLongPeriodPattern(t *testing.T) {
+	p := New(smallConfig())
+	period := 37 // prime, longer than any bimodal can express
+	n := 30000
+	pcs := make([]uint64, n)
+	outs := make([]bool, n)
+	for i := range pcs {
+		pcs[i] = 0x8000
+		outs[i] = i%period == 0
+	}
+	late := runImmediate(p, pcs, outs)
+	rate := float64(late) / float64(n/2)
+	if rate > 0.02 {
+		t.Fatalf("long-period pattern late misprediction rate = %.4f, want < 0.02", rate)
+	}
+}
+
+// TestLearnsPathCorrelation: the outcome of a branch is determined by
+// which of a small set of recurring path contexts precedes it. TAGE
+// captures this through tag matching on the recurring histories — the
+// mechanism behind its long-range correlation ability (histories recur, so
+// each (history, branch) pair maps to a learned entry).
+func TestLearnsPathCorrelation(t *testing.T) {
+	p := New(smallConfig())
+	r := rng.NewXoshiro(7)
+	// 8 distinct 10-branch context blocks, chosen pseudo-randomly; the
+	// final branch's outcome is the parity of the block id.
+	var blocks [8][10]bool
+	for b := range blocks {
+		for j := range blocks[b] {
+			blocks[b][j] = r.Bool(0.5)
+		}
+	}
+	var ctx Ctx
+	late, total := 0, 0
+	const rounds = 4000
+	for i := 0; i < rounds; i++ {
+		b := r.Intn(8)
+		for j, taken := range blocks[b] {
+			pc := uint64(0x100 + j*4)
+			pred := p.Predict(pc, &ctx)
+			p.OnResolve(pc, taken, pred != taken, &ctx)
+			p.Retire(pc, taken, &ctx, true)
+		}
+		out := b&1 == 1
+		pred := p.Predict(0x200, &ctx)
+		if i > rounds/2 {
+			total++
+			if pred != out {
+				late++
+			}
+		}
+		p.OnResolve(0x200, out, pred != out, &ctx)
+		p.Retire(0x200, out, &ctx, true)
+	}
+	rate := float64(late) / float64(total)
+	if rate > 0.05 {
+		t.Fatalf("path correlation late rate = %.4f, want < 0.05", rate)
+	}
+}
+
+func TestBeatsBimodalOnAlternating(t *testing.T) {
+	p := New(smallConfig())
+	n := 4000
+	pcs := make([]uint64, n)
+	outs := make([]bool, n)
+	for i := range pcs {
+		pcs[i] = 0x40
+		outs[i] = i%2 == 0 // T,N,T,N... bimodal gets ~50-100%, TAGE ~0%
+	}
+	if late := runImmediate(p, pcs, outs); late > 40 {
+		t.Fatalf("alternating branch late mispredicts = %d", late)
+	}
+}
+
+func TestAllocationOnlyOnMisprediction(t *testing.T) {
+	p := New(smallConfig())
+	var ctx Ctx
+	pc := uint64(0x998)
+	// First occurrence: bimodal provides, predicts not-taken (weak),
+	// outcome taken -> misprediction -> allocation must occur.
+	pred := p.Predict(pc, &ctx)
+	if pred {
+		t.Fatal("fresh predictor should predict not-taken")
+	}
+	p.OnResolve(pc, true, true, &ctx)
+	p.Retire(pc, true, &ctx, true)
+	allocs := 0
+	for i := range p.tables {
+		for j := range p.tables[i] {
+			if p.tables[i][j].tag != 0 || p.tables[i][j].ctr != 0 {
+				allocs++
+			}
+		}
+	}
+	if allocs == 0 {
+		t.Fatal("misprediction must allocate tagged entries")
+	}
+	if allocs > p.cfg.MaxAlloc {
+		t.Fatalf("allocated %d entries, max is %d", allocs, p.cfg.MaxAlloc)
+	}
+}
+
+func TestNonConsecutiveAllocation(t *testing.T) {
+	p := New(smallConfig())
+	var ctx Ctx
+	pc := uint64(0x1234)
+	p.Predict(pc, &ctx)
+	p.OnResolve(pc, true, true, &ctx)
+	p.Retire(pc, true, &ctx, true)
+	var allocTables []int
+	for i := range p.tables {
+		if p.tables[i][ctx.Indices[i]].tag == ctx.Tags[i] && ctx.Tags[i] != 0 {
+			allocTables = append(allocTables, i)
+		}
+	}
+	for k := 1; k < len(allocTables); k++ {
+		if allocTables[k] == allocTables[k-1]+1 {
+			t.Fatalf("allocated on consecutive tables: %v", allocTables)
+		}
+	}
+}
+
+func TestUBitGlobalReset(t *testing.T) {
+	p := New(smallConfig())
+	// Force all u bits set and the tick counter to the brink.
+	for i := range p.tables {
+		for j := range p.tables[i] {
+			p.tables[i][j].u = 1
+		}
+	}
+	p.tick = 254
+	var ctx Ctx
+	pc := uint64(0x777)
+	p.Predict(pc, &ctx)
+	p.OnResolve(pc, true, true, &ctx)
+	p.Retire(pc, true, &ctx, true) // misprediction -> failed allocations -> tick saturates
+	clear := true
+	for i := range p.tables {
+		for j := range p.tables[i] {
+			if p.tables[i][j].u != 0 {
+				clear = false
+			}
+		}
+	}
+	if !clear {
+		t.Fatal("tick saturation must reset all u bits")
+	}
+	if p.tick != 0 {
+		t.Fatalf("tick = %d after reset, want 0", p.tick)
+	}
+}
+
+func TestScaleQuadruplesStorage(t *testing.T) {
+	base := New(Reference())
+	big := New(Scale(Reference(), 2))
+	ratio := float64(big.StorageBits()) / float64(base.StorageBits())
+	if ratio < 3.5 || ratio > 4.5 {
+		t.Fatalf("Scale(+2) storage ratio = %.2f, want ~4", ratio)
+	}
+}
+
+func TestInterleavedStillLearns(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Interleaved = true
+	p := New(cfg)
+	n := 8000
+	pcs := make([]uint64, n)
+	outs := make([]bool, n)
+	for i := range pcs {
+		pcs[i] = 0x40 + uint64(i%3)*4
+		outs[i] = (i/3)%5 == 0
+	}
+	late := runImmediate(p, pcs, outs)
+	rate := float64(late) / float64(n/2)
+	if rate > 0.05 {
+		t.Fatalf("interleaved late rate = %.4f, want small", rate)
+	}
+}
+
+func TestInterleavedIndicesInRange(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Interleaved = true
+	p := New(cfg)
+	r := rng.NewXoshiro(3)
+	var ctx Ctx
+	for i := 0; i < 5000; i++ {
+		pc := uint64(r.Uint32())
+		p.Predict(pc, &ctx)
+		for ti := range p.tables {
+			if int(ctx.Indices[ti]) >= len(p.tables[ti]) {
+				t.Fatalf("index out of range: table %d idx %d", ti, ctx.Indices[ti])
+			}
+		}
+		p.OnResolve(pc, r.Bool(0.5), false, &ctx)
+		p.Retire(pc, r.Bool(0.5), &ctx, true)
+	}
+}
+
+// TestIUMCorrectsInflightStaleness reproduces the Section 5.1 mechanism:
+// with delayed update, a flip of a branch's behaviour causes repeated
+// mispredictions from the same stale entry; the IUM corrects them using
+// the executed-but-not-retired occurrence.
+func TestIUMCorrectsInflightStaleness(t *testing.T) {
+	run := func(useIUM bool) int {
+		cfg := smallConfig()
+		cfg.UseIUM = useIUM
+		cfg.IUMExecDelay = 2
+		p := New(cfg)
+		var ctxs [8]Ctx
+		mispredicts := 0
+		// Pipeline of depth 8: retire lags prediction by 8 branches.
+		type rec struct {
+			pc    uint64
+			taken bool
+			used  bool
+		}
+		var fifo []rec
+		emit := func(pc uint64, taken bool) {
+			slot := len(fifo) % 8
+			if len(fifo) >= 8 {
+				old := fifo[len(fifo)-8]
+				p.Retire(old.pc, old.taken, &ctxs[slot], true)
+			}
+			pred := p.Predict(pc, &ctxs[slot])
+			if pred != taken {
+				mispredicts++
+			}
+			p.OnResolve(pc, taken, pred != taken, &ctxs[slot])
+			fifo = append(fifo, rec{pc, taken, true})
+		}
+		// Phase 1: branch strongly taken. Phase 2: abruptly not-taken;
+		// consecutive in-flight occurrences hit the same stale entry.
+		for i := 0; i < 2000; i++ {
+			emit(0x500, true)
+		}
+		for i := 0; i < 2000; i++ {
+			emit(0x500, false)
+		}
+		return mispredicts
+	}
+	without := run(false)
+	with := run(true)
+	if with >= without {
+		t.Fatalf("IUM did not help: with=%d without=%d", with, without)
+	}
+}
+
+func TestStatsSilentUpdatesDominate(t *testing.T) {
+	p := New(smallConfig())
+	n := 20000
+	pcs := make([]uint64, n)
+	outs := make([]bool, n)
+	r := rng.NewXoshiro(11)
+	for i := range pcs {
+		pcs[i] = 0x40 + uint64(i%17)*4
+		outs[i] = r.Bool(0.9)
+	}
+	runImmediate(p, pcs, outs)
+	st := p.AccessStats()
+	// Entry-level check (WriteEvents is maintained by the pipeline
+	// simulator, not by direct driving): most entry-write attempts must be
+	// silent on a predictable workload.
+	silent := float64(st.SilentSkipped) / float64(st.SilentSkipped+st.EntryWrites)
+	if silent < 0.5 {
+		t.Fatalf("silent entry-write fraction = %.3f, expected the majority silent", silent)
+	}
+}
+
+func TestNamePropagation(t *testing.T) {
+	p := New(Reference())
+	if p.Name() != "TAGE-ref" {
+		t.Fatalf("Name = %q", p.Name())
+	}
+	cfg := Reference()
+	cfg.Name = ""
+	if New(cfg).Name() == "" {
+		t.Fatal("default name must not be empty")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for empty TableLogs")
+		}
+	}()
+	New(Config{})
+}
+
+func TestTableBitsSumsToStorage(t *testing.T) {
+	p := New(Reference())
+	sum := 0
+	for _, b := range p.TableBits() {
+		sum += b
+	}
+	if sum != p.StorageBits() {
+		t.Fatalf("TableBits sum %d != StorageBits %d", sum, p.StorageBits())
+	}
+}

@@ -1,0 +1,238 @@
+// Package trace defines the branch-trace model used by the simulator: a
+// sequence of conditional-branch records on the correct execution path,
+// each carrying its PC, its outcome, and the number of non-branch micro-ops
+// preceding it (so that per-kilo-instruction metrics can be computed, as in
+// the CBP-3 framework the paper uses). Traces can be generated on the fly
+// by a Source or materialised, and a compact binary encoding is provided
+// for storing them on disk.
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Branch is one dynamic conditional branch on the correct path.
+type Branch struct {
+	// PC is the branch instruction address.
+	PC uint64
+	// Taken is the architectural outcome.
+	Taken bool
+	// OpsBefore is the number of non-branch micro-ops that executed since
+	// the previous branch (the branch itself counts as one more µop).
+	OpsBefore uint8
+}
+
+// Source produces branches one at a time. Next reports false when the
+// trace is exhausted.
+type Source interface {
+	Next() (Branch, bool)
+}
+
+// Trace is a fully materialised branch trace.
+type Trace struct {
+	// Name identifies the benchmark (e.g. "INT01").
+	Name string
+	// Category is the benchmark class (e.g. "INT").
+	Category string
+	Branches []Branch
+}
+
+// MicroOps returns the total micro-op count of the trace (branches plus
+// the ops preceding each).
+func (t *Trace) MicroOps() uint64 {
+	var n uint64
+	for _, b := range t.Branches {
+		n += uint64(b.OpsBefore) + 1
+	}
+	return n
+}
+
+// Reader returns a Source iterating over the materialised branches.
+func (t *Trace) Reader() Source { return &sliceSource{t: t} }
+
+type sliceSource struct {
+	t *Trace
+	i int
+}
+
+func (s *sliceSource) Next() (Branch, bool) {
+	if s.i >= len(s.t.Branches) {
+		return Branch{}, false
+	}
+	b := s.t.Branches[s.i]
+	s.i++
+	return b, true
+}
+
+// Collect materialises up to limit branches from a source (limit <= 0 means
+// no limit).
+func Collect(name, category string, src Source, limit int) *Trace {
+	t := &Trace{Name: name, Category: category}
+	for {
+		if limit > 0 && len(t.Branches) >= limit {
+			break
+		}
+		b, ok := src.Next()
+		if !ok {
+			break
+		}
+		t.Branches = append(t.Branches, b)
+	}
+	return t
+}
+
+// Binary format:
+//
+//	magic "BPT1" | name len+bytes | category len+bytes | branch count |
+//	per branch: uvarint(pcDelta zigzag) | byte(flags: bit0 taken) | byte(opsBefore)
+//
+// PCs are delta-encoded against the previous branch PC because real and
+// synthetic traces alike have strong PC locality.
+const magic = "BPT1"
+
+var (
+	// ErrBadMagic reports a stream that is not a trace file.
+	ErrBadMagic = errors.New("trace: bad magic")
+)
+
+// Write encodes the trace to w.
+func Write(w io.Writer, t *Trace) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(magic); err != nil {
+		return err
+	}
+	writeString := func(s string) error {
+		var lenBuf [binary.MaxVarintLen64]byte
+		n := binary.PutUvarint(lenBuf[:], uint64(len(s)))
+		if _, err := bw.Write(lenBuf[:n]); err != nil {
+			return err
+		}
+		_, err := bw.WriteString(s)
+		return err
+	}
+	if err := writeString(t.Name); err != nil {
+		return err
+	}
+	if err := writeString(t.Category); err != nil {
+		return err
+	}
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], uint64(len(t.Branches)))
+	if _, err := bw.Write(buf[:n]); err != nil {
+		return err
+	}
+	prev := uint64(0)
+	for _, b := range t.Branches {
+		delta := int64(b.PC) - int64(prev)
+		n := binary.PutVarint(buf[:], delta)
+		if _, err := bw.Write(buf[:n]); err != nil {
+			return err
+		}
+		flags := byte(0)
+		if b.Taken {
+			flags |= 1
+		}
+		if err := bw.WriteByte(flags); err != nil {
+			return err
+		}
+		if err := bw.WriteByte(b.OpsBefore); err != nil {
+			return err
+		}
+		prev = b.PC
+	}
+	return bw.Flush()
+}
+
+// Read decodes a trace written by Write.
+func Read(r io.Reader) (*Trace, error) {
+	br := bufio.NewReader(r)
+	head := make([]byte, len(magic))
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if string(head) != magic {
+		return nil, ErrBadMagic
+	}
+	readString := func() (string, error) {
+		n, err := binary.ReadUvarint(br)
+		if err != nil {
+			return "", err
+		}
+		if n > 1<<20 {
+			return "", fmt.Errorf("trace: unreasonable string length %d", n)
+		}
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return "", err
+		}
+		return string(buf), nil
+	}
+	t := &Trace{}
+	var err error
+	if t.Name, err = readString(); err != nil {
+		return nil, fmt.Errorf("trace: reading name: %w", err)
+	}
+	if t.Category, err = readString(); err != nil {
+		return nil, fmt.Errorf("trace: reading category: %w", err)
+	}
+	count, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading count: %w", err)
+	}
+	if count > 1<<32 {
+		return nil, fmt.Errorf("trace: unreasonable branch count %d", count)
+	}
+	t.Branches = make([]Branch, 0, count)
+	prev := uint64(0)
+	for i := uint64(0); i < count; i++ {
+		delta, err := binary.ReadVarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("trace: branch %d pc: %w", i, err)
+		}
+		pc := uint64(int64(prev) + delta)
+		flags, err := br.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("trace: branch %d flags: %w", i, err)
+		}
+		ops, err := br.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("trace: branch %d ops: %w", i, err)
+		}
+		t.Branches = append(t.Branches, Branch{PC: pc, Taken: flags&1 != 0, OpsBefore: ops})
+		prev = pc
+	}
+	return t, nil
+}
+
+// Stats summarises a trace.
+type Stats struct {
+	Branches       int
+	MicroOps       uint64
+	TakenFraction  float64
+	StaticBranches int
+}
+
+// Summarize computes summary statistics for a trace.
+func Summarize(t *Trace) Stats {
+	taken := 0
+	static := make(map[uint64]struct{})
+	for _, b := range t.Branches {
+		if b.Taken {
+			taken++
+		}
+		static[b.PC] = struct{}{}
+	}
+	s := Stats{
+		Branches:       len(t.Branches),
+		MicroOps:       t.MicroOps(),
+		StaticBranches: len(static),
+	}
+	if s.Branches > 0 {
+		s.TakenFraction = float64(taken) / float64(s.Branches)
+	}
+	return s
+}

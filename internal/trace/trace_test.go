@@ -1,0 +1,171 @@
+package trace
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func sampleTrace(n int, seed uint64) *Trace {
+	r := rng.NewXoshiro(seed)
+	t := &Trace{Name: "SAMPLE", Category: "TEST"}
+	pc := uint64(0x400000)
+	for i := 0; i < n; i++ {
+		if r.Bool(0.3) {
+			pc = 0x400000 + uint64(r.Intn(1000))*4
+		} else {
+			pc += 4
+		}
+		t.Branches = append(t.Branches, Branch{
+			PC:        pc,
+			Taken:     r.Bool(0.6),
+			OpsBefore: uint8(r.Intn(8)),
+		})
+	}
+	return t
+}
+
+func TestRoundTrip(t *testing.T) {
+	tr := sampleTrace(5000, 1)
+	var buf bytes.Buffer
+	if err := Write(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != tr.Name || got.Category != tr.Category {
+		t.Fatalf("metadata mismatch: %q/%q", got.Name, got.Category)
+	}
+	if !reflect.DeepEqual(got.Branches, tr.Branches) {
+		t.Fatal("branches differ after round trip")
+	}
+}
+
+func TestRoundTripEmpty(t *testing.T) {
+	tr := &Trace{Name: "E", Category: "X"}
+	var buf bytes.Buffer
+	if err := Write(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Branches) != 0 || got.Name != "E" {
+		t.Fatal("empty trace round trip failed")
+	}
+}
+
+func TestRoundTripQuick(t *testing.T) {
+	f := func(seed uint64, nRaw uint16) bool {
+		tr := sampleTrace(int(nRaw%500), seed)
+		var buf bytes.Buffer
+		if err := Write(&buf, tr); err != nil {
+			return false
+		}
+		got, err := Read(&buf)
+		if err != nil {
+			return false
+		}
+		if len(tr.Branches) == 0 {
+			return len(got.Branches) == 0
+		}
+		return reflect.DeepEqual(got.Branches, tr.Branches)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBadMagic(t *testing.T) {
+	_, err := Read(strings.NewReader("NOTATRACEFILE"))
+	if err != ErrBadMagic {
+		t.Fatalf("err = %v, want ErrBadMagic", err)
+	}
+}
+
+func TestTruncatedStream(t *testing.T) {
+	tr := sampleTrace(100, 2)
+	var buf bytes.Buffer
+	if err := Write(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	for _, cut := range []int{5, 10, len(data) / 2, len(data) - 1} {
+		if _, err := Read(bytes.NewReader(data[:cut])); err == nil {
+			t.Fatalf("expected error for truncation at %d", cut)
+		}
+	}
+}
+
+func TestMicroOps(t *testing.T) {
+	tr := &Trace{Branches: []Branch{
+		{PC: 1, OpsBefore: 3},
+		{PC: 2, OpsBefore: 0},
+		{PC: 3, OpsBefore: 7},
+	}}
+	// 3+1 + 0+1 + 7+1 = 13
+	if got := tr.MicroOps(); got != 13 {
+		t.Fatalf("MicroOps = %d, want 13", got)
+	}
+}
+
+func TestReaderIteration(t *testing.T) {
+	tr := sampleTrace(10, 3)
+	src := tr.Reader()
+	var got []Branch
+	for {
+		b, ok := src.Next()
+		if !ok {
+			break
+		}
+		got = append(got, b)
+	}
+	if !reflect.DeepEqual(got, tr.Branches) {
+		t.Fatal("Reader did not reproduce the branches")
+	}
+}
+
+func TestCollectLimit(t *testing.T) {
+	tr := sampleTrace(100, 4)
+	got := Collect("X", "Y", tr.Reader(), 25)
+	if len(got.Branches) != 25 {
+		t.Fatalf("Collect limit: got %d branches", len(got.Branches))
+	}
+	got = Collect("X", "Y", tr.Reader(), 0)
+	if len(got.Branches) != 100 {
+		t.Fatalf("Collect unlimited: got %d branches", len(got.Branches))
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	tr := &Trace{Branches: []Branch{
+		{PC: 0x10, Taken: true, OpsBefore: 1},
+		{PC: 0x10, Taken: false, OpsBefore: 1},
+		{PC: 0x20, Taken: true, OpsBefore: 1},
+		{PC: 0x30, Taken: true, OpsBefore: 1},
+	}}
+	s := Summarize(tr)
+	if s.Branches != 4 || s.StaticBranches != 3 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if s.TakenFraction != 0.75 {
+		t.Fatalf("taken fraction = %v, want 0.75", s.TakenFraction)
+	}
+	if s.MicroOps != 8 {
+		t.Fatalf("micro ops = %d, want 8", s.MicroOps)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(&Trace{})
+	if s.Branches != 0 || s.TakenFraction != 0 {
+		t.Fatalf("empty stats = %+v", s)
+	}
+}

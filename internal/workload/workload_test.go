@@ -1,0 +1,174 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/trace"
+)
+
+func TestAllHas40Benchmarks(t *testing.T) {
+	specs := All()
+	if len(specs) != 40 {
+		t.Fatalf("got %d benchmarks, want 40", len(specs))
+	}
+	cats := map[string]int{}
+	hard := 0
+	names := map[string]bool{}
+	for _, s := range specs {
+		cats[s.Category]++
+		if s.Hard {
+			hard++
+		}
+		if names[s.Name] {
+			t.Fatalf("duplicate name %s", s.Name)
+		}
+		names[s.Name] = true
+	}
+	for _, c := range []string{"CLIENT", "INT", "MM", "SERVER", "WS"} {
+		if cats[c] != 8 {
+			t.Fatalf("category %s has %d traces, want 8", c, cats[c])
+		}
+	}
+	if hard != 7 {
+		t.Fatalf("hard subset = %d traces, want 7", hard)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	spec, _ := Find("INT03")
+	a := Generate(spec, 5000)
+	b := Generate(spec, 5000)
+	if len(a.Branches) != len(b.Branches) {
+		t.Fatal("lengths differ")
+	}
+	for i := range a.Branches {
+		if a.Branches[i] != b.Branches[i] {
+			t.Fatalf("branch %d differs", i)
+		}
+	}
+}
+
+func TestGenerateRespectsLimit(t *testing.T) {
+	for _, name := range []string{"CLIENT01", "MM02", "SERVER05"} {
+		tr, err := GenerateByName(name, 2000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(tr.Branches) != 2000 {
+			t.Fatalf("%s: got %d branches", name, len(tr.Branches))
+		}
+	}
+}
+
+func TestGenerateUnknownName(t *testing.T) {
+	if _, err := GenerateByName("NOPE", 10); err == nil {
+		t.Fatal("expected error for unknown benchmark")
+	}
+}
+
+func TestTracesHaveBothDirections(t *testing.T) {
+	for _, s := range All() {
+		tr := Generate(s, 3000)
+		st := trace.Summarize(tr)
+		if st.TakenFraction < 0.05 || st.TakenFraction > 0.95 {
+			t.Errorf("%s: taken fraction %.2f is degenerate", s.Name, st.TakenFraction)
+		}
+	}
+}
+
+func TestServerHasLargeFootprint(t *testing.T) {
+	trS, _ := GenerateByName("SERVER08", 50000)
+	trM, _ := GenerateByName("MM01", 50000)
+	sS := trace.Summarize(trS)
+	sM := trace.Summarize(trM)
+	if sS.StaticBranches <= sM.StaticBranches {
+		t.Fatalf("SERVER should have a larger footprint: %d vs %d",
+			sS.StaticBranches, sM.StaticBranches)
+	}
+	if sS.StaticBranches < 100 {
+		t.Fatalf("SERVER footprint too small: %d", sS.StaticBranches)
+	}
+}
+
+func TestCategoriesDistinct(t *testing.T) {
+	// Different benchmarks must produce different streams.
+	a, _ := GenerateByName("WS01", 2000)
+	b, _ := GenerateByName("WS02", 2000)
+	same := 0
+	for i := range a.Branches {
+		if a.Branches[i].PC == b.Branches[i].PC && a.Branches[i].Taken == b.Branches[i].Taken {
+			same++
+		}
+	}
+	if same > 1500 {
+		t.Fatalf("WS01 and WS02 nearly identical: %d/2000 equal", same)
+	}
+}
+
+func TestEnvRecentRing(t *testing.T) {
+	e := newEnv(rng.NewXoshiro(1))
+	e.push(true)
+	e.push(false)
+	e.push(true)
+	if !e.bit(0) || e.bit(1) || !e.bit(2) {
+		t.Fatal("recent ring order wrong")
+	}
+}
+
+func TestPatternZooCycles(t *testing.T) {
+	z := newPatternZoo(rng.NewXoshiro(3), 4, 8)
+	// Collect two full cycles; they must match exactly.
+	var first, second []bool
+	for i := 0; i < 4*8; i++ {
+		first = append(first, z.next(nil))
+	}
+	for i := 0; i < 4*8; i++ {
+		second = append(second, z.next(nil))
+	}
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("zoo not periodic at %d", i)
+		}
+	}
+}
+
+func TestMajorityBehavior(t *testing.T) {
+	e := newEnv(rng.NewXoshiro(5))
+	for i := 0; i < 10; i++ {
+		e.push(true)
+	}
+	m := &majority{window: 9, noise: 0, r: rng.NewXoshiro(1)}
+	if !m.next(e) {
+		t.Fatal("majority of all-taken must be taken")
+	}
+	for i := 0; i < 10; i++ {
+		e.push(false)
+	}
+	if m.next(e) {
+		t.Fatal("majority of all-not-taken must be not-taken")
+	}
+}
+
+func TestCopyDistBehavior(t *testing.T) {
+	e := newEnv(rng.NewXoshiro(5))
+	e.push(true)
+	e.push(false)
+	e.push(false)
+	c := copyDist{dist: 2}
+	// bit(2) is the outcome two branches back = true.
+	if !c.next(e) {
+		t.Fatal("copyDist must copy the outcome at its distance")
+	}
+}
+
+func TestOpsBeforeDeterministicPerPC(t *testing.T) {
+	tr, _ := GenerateByName("CLIENT03", 20000)
+	ops := map[uint64]uint8{}
+	for _, b := range tr.Branches {
+		if prev, ok := ops[b.PC]; ok && prev != b.OpsBefore {
+			t.Fatalf("PC %#x has varying OpsBefore", b.PC)
+		}
+		ops[b.PC] = b.OpsBefore
+	}
+}

@@ -1,0 +1,242 @@
+// Package repro is a from-scratch Go reproduction of "A New Case for the
+// TAGE Branch Predictor" (André Seznec, MICRO 2011): the TAGE conditional
+// branch predictor and every system the paper builds on or compares
+// against — the ISL-TAGE and TAGE-LSC composite predictors (IUM, loop
+// predictor, global and local Statistical Correctors), the gshare, GEHL,
+// piecewise-linear and fused-two-level baselines, a CBP-3-style
+// trace-driven pipeline simulator with the paper's four update-timing
+// scenarii, a 4-way bank-interleaving hardware model, a CACTI-like
+// area/energy model, and a synthetic 40-trace benchmark suite.
+//
+// The package is a facade over the internal implementation: construct a
+// predictor Model, generate (or load) traces, and run simulations.
+//
+//	model := repro.TAGELSC512K()
+//	tr := repro.GenerateTrace("INT01", 1_000_000)
+//	res := model.Run(tr, repro.Options{Scenario: repro.ScenarioA})
+//	fmt.Println(res.MPKI, res.MPPKI)
+//
+// Every table and figure of the paper can be regenerated through
+// RunExperiment (ids E1..E15, see DESIGN.md) or the cmd/bptables binary.
+package repro
+
+import (
+	"repro/internal/composed"
+	"repro/internal/ftlpp"
+	"repro/internal/gehl"
+	"repro/internal/gshare"
+	"repro/internal/neural"
+	"repro/internal/predictor"
+	"repro/internal/sim"
+	"repro/internal/tage"
+	"repro/internal/trace"
+)
+
+// Re-exported simulation types.
+type (
+	// Trace is a materialised branch trace.
+	Trace = trace.Trace
+	// Branch is one dynamic conditional branch.
+	Branch = trace.Branch
+	// Options configures a simulation run.
+	Options = sim.Options
+	// Result is the outcome of simulating one trace.
+	Result = sim.Result
+	// Suite aggregates per-trace results.
+	Suite = sim.Suite
+	// Scenario selects the update-timing policy of Section 4.1.2.
+	Scenario = predictor.Scenario
+)
+
+// Update-timing scenarii (Section 4.1.2).
+const (
+	// ScenarioI is the oracle immediate update.
+	ScenarioI = predictor.ScenarioI
+	// ScenarioA re-reads the tables at retire time.
+	ScenarioA = predictor.ScenarioA
+	// ScenarioB never re-reads (fetch-time values only).
+	ScenarioB = predictor.ScenarioB
+	// ScenarioC re-reads only on mispredictions.
+	ScenarioC = predictor.ScenarioC
+)
+
+// Model is a branch predictor configuration that can be instantiated and
+// simulated. Each Run starts from cold state.
+type Model struct {
+	name string
+	bits int
+	mk   func() instance
+}
+
+// instance abstracts over the per-predictor context type.
+type instance interface {
+	run(tr *Trace, opt Options) Result
+	predict(pc uint64) bool
+	update(pc uint64, taken bool)
+}
+
+type typedInstance[C any] struct {
+	p       predictor.Predictor[C]
+	ctx     C
+	pending uint64
+	valid   bool
+	pred    bool
+}
+
+func (ti *typedInstance[C]) run(tr *Trace, opt Options) Result {
+	return sim.RunTrace(ti.p, tr, opt)
+}
+
+func (ti *typedInstance[C]) predict(pc uint64) bool {
+	ti.pred = ti.p.Predict(pc, &ti.ctx)
+	ti.pending = pc
+	ti.valid = true
+	return ti.pred
+}
+
+func (ti *typedInstance[C]) update(pc uint64, taken bool) {
+	if !ti.valid || ti.pending != pc {
+		ti.predict(pc)
+	}
+	ti.valid = false
+	ti.p.OnResolve(pc, taken, ti.pred != taken, &ti.ctx)
+	ti.p.Retire(pc, taken, &ti.ctx, true)
+}
+
+func newModel[C any](mk func() predictor.Predictor[C]) *Model {
+	probe := mk()
+	return &Model{
+		name: probe.Name(),
+		bits: probe.StorageBits(),
+		mk: func() instance {
+			return &typedInstance[C]{p: mk()}
+		},
+	}
+}
+
+// Name returns the configuration label.
+func (m *Model) Name() string { return m.name }
+
+// StorageBits returns the predictor storage budget in bits.
+func (m *Model) StorageBits() int { return m.bits }
+
+// Run simulates the model over a trace from cold state.
+func (m *Model) Run(tr *Trace, opt Options) Result {
+	return m.mk().run(tr, opt)
+}
+
+// Session is a stateful predictor handle for direct use: call Predict to
+// obtain a prediction and Train to feed the architectural outcome
+// (immediate-update semantics, suitable for functional exploration).
+type Session struct{ inst instance }
+
+// NewSession instantiates the model for interactive use.
+func (m *Model) NewSession() *Session { return &Session{inst: m.mk()} }
+
+// Predict returns the predicted direction for a branch at pc.
+func (s *Session) Predict(pc uint64) bool { return s.inst.predict(pc) }
+
+// Train feeds the architectural outcome of the branch at pc, updating the
+// predictor immediately.
+func (s *Session) Train(pc uint64, taken bool) { s.inst.update(pc, taken) }
+
+// --- the paper's predictor configurations ---
+
+// ReferenceTAGE is the Section 3.4 reference predictor: 13 components,
+// (6,2000) geometric series, 65,408 bytes.
+func ReferenceTAGE() *Model {
+	return newModel(func() predictor.Predictor[tage.Ctx] {
+		return tage.New(tage.Reference())
+	})
+}
+
+// TAGEWithIUM is the reference TAGE with the Immediate Update Mimicker of
+// Section 5.1.
+func TAGEWithIUM() *Model {
+	return newModel(func() predictor.Predictor[composed.Ctx] {
+		return composed.New(composed.TageIUM(tage.Reference(), "TAGE+IUM"))
+	})
+}
+
+// ISLTAGE is the Section 5 predictor: TAGE + IUM + loop predictor +
+// global-history Statistical Corrector.
+func ISLTAGE() *Model {
+	return newModel(func() predictor.Predictor[composed.Ctx] {
+		return composed.New(composed.ISLTAGE(tage.Reference(), "ISL-TAGE"))
+	})
+}
+
+// TAGELSC512K is the Section 6.1 budget-matched TAGE-LSC: the reference
+// TAGE with table T7 halved plus the 30Kbit Local Statistical Corrector,
+// within 512 Kbits.
+func TAGELSC512K() *Model {
+	return newModel(func() predictor.Predictor[composed.Ctx] {
+		return composed.New(composed.TAGELSC(composed.Budget512K(), "TAGE-LSC"))
+	})
+}
+
+// TAGELSCInterleaved is the Section 7 cost-effective TAGE-LSC: 4-way
+// bank-interleaved single-ported tables for both the TAGE and the local
+// components.
+func TAGELSCInterleaved() *Model {
+	return newModel(func() predictor.Predictor[composed.Ctx] {
+		tcfg := composed.Budget512K()
+		tcfg.Interleaved = true
+		c := composed.TAGELSC(tcfg, "TAGE-LSC-interleaved")
+		c.LSC.Interleaved = true
+		return composed.New(c)
+	})
+}
+
+// ScaledTAGE returns the reference TAGE with all component sizes scaled by
+// 2^deltaLog (the Figure 9 protocol); deltaLog 0 is 512Kbit.
+func ScaledTAGE(deltaLog int) *Model {
+	return newModel(func() predictor.Predictor[tage.Ctx] {
+		return tage.New(tage.Scale(tage.Reference(), deltaLog))
+	})
+}
+
+// Gshare512K is the 512Kbit gshare baseline of Section 4.1.
+func Gshare512K() *Model {
+	return newModel(func() predictor.Predictor[gshare.Ctx] {
+		return gshare.New(18)
+	})
+}
+
+// GEHL520K is the 520Kbit GEHL baseline of Section 4.1.
+func GEHL520K() *Model {
+	return newModel(func() predictor.Predictor[gehl.Ctx] {
+		return gehl.New(gehl.Config{})
+	})
+}
+
+// OHSNAP is the piecewise-linear (OH-SNAP-like) neural comparator of
+// Section 6.3.
+func OHSNAP() *Model {
+	return newModel(func() predictor.Predictor[neural.Ctx] {
+		return neural.New(neural.Config{})
+	})
+}
+
+// FTLPP is the fused two-level (FTL++-like) comparator of Section 6.3.
+func FTLPP() *Model {
+	return newModel(func() predictor.Predictor[ftlpp.Ctx] {
+		return ftlpp.New(ftlpp.Config{})
+	})
+}
+
+// Models returns every named configuration, keyed by a stable identifier
+// usable from command-line tools.
+func Models() map[string]func() *Model {
+	return map[string]func() *Model{
+		"tage":            ReferenceTAGE,
+		"tage-ium":        TAGEWithIUM,
+		"isl-tage":        ISLTAGE,
+		"tage-lsc":        TAGELSC512K,
+		"tage-lsc-banked": TAGELSCInterleaved,
+		"gshare":          Gshare512K,
+		"gehl":            GEHL520K,
+		"ohsnap":          OHSNAP,
+		"ftlpp":           FTLPP,
+	}
+}

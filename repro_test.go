@@ -1,0 +1,140 @@
+package repro
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestModelsInstantiate(t *testing.T) {
+	for name, mk := range Models() {
+		m := mk()
+		if m.Name() == "" {
+			t.Errorf("%s: empty name", name)
+		}
+		if m.StorageBits() <= 0 {
+			t.Errorf("%s: no storage", name)
+		}
+	}
+}
+
+func TestModelBudgets(t *testing.T) {
+	// The paper's 512Kbit-class configurations must be near (and the
+	// composite ones within) the CBP-3 budget.
+	for _, mk := range []func() *Model{ReferenceTAGE, TAGELSC512K, ISLTAGE, Gshare512K, GEHL520K} {
+		m := mk()
+		kb := m.StorageBits() / 1024
+		if kb < 400 || kb > 560 {
+			t.Errorf("%s: %d Kbit outside the 512Kbit class", m.Name(), kb)
+		}
+	}
+}
+
+func TestSessionLearns(t *testing.T) {
+	s := ReferenceTAGE().NewSession()
+	wrong := 0
+	for i := 0; i < 500; i++ {
+		taken := i%3 != 0
+		if s.Predict(0x40) != taken && i > 250 {
+			wrong++
+		}
+		s.Train(0x40, taken)
+	}
+	if wrong > 10 {
+		t.Fatalf("session failed to learn a period-3 pattern: %d late mispredicts", wrong)
+	}
+}
+
+func TestSessionTrainWithoutPredict(t *testing.T) {
+	s := Gshare512K().NewSession()
+	// Train without a preceding Predict must not panic and must learn.
+	// gshare's index depends on the global history register, so training
+	// must continue past the history length (18) for the index to settle.
+	for i := 0; i < 25; i++ {
+		s.Train(0x80, true)
+	}
+	if !s.Predict(0x80) {
+		t.Fatal("did not learn an always-taken branch")
+	}
+}
+
+func TestRunIsColdPerCall(t *testing.T) {
+	m := ReferenceTAGE()
+	tr := GenerateTrace("WS01", 30000)
+	a := m.Run(tr, Options{Scenario: ScenarioA})
+	b := m.Run(tr, Options{Scenario: ScenarioA})
+	if a.Mispredicts != b.Mispredicts {
+		t.Fatalf("Run must start cold: %d vs %d mispredicts", a.Mispredicts, b.Mispredicts)
+	}
+}
+
+func TestTraceNamesComplete(t *testing.T) {
+	names := TraceNames()
+	if len(names) != 40 {
+		t.Fatalf("got %d trace names", len(names))
+	}
+	hard := HardTraces()
+	if len(hard) != 7 {
+		t.Fatalf("got %d hard traces", len(hard))
+	}
+	for h := range hard {
+		found := false
+		for _, n := range names {
+			if n == h {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("hard trace %s not in TraceNames", h)
+		}
+	}
+}
+
+func TestTraceRoundTripThroughFacade(t *testing.T) {
+	tr := GenerateTrace("CLIENT01", 5000)
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Branches) != len(tr.Branches) || back.Name != tr.Name {
+		t.Fatal("round trip mismatch")
+	}
+}
+
+func TestExperimentRegistryComplete(t *testing.T) {
+	ids := ExperimentIDs()
+	if len(ids) != 15 {
+		t.Fatalf("got %d experiments, want 15", len(ids))
+	}
+	if _, ok := RunExperiment("E99", ExperimentConfig{}); ok {
+		t.Fatal("unknown experiment id must not resolve")
+	}
+}
+
+// TestAccuracyOrderingSmall is the headline sanity check at reduced scale:
+// TAGE-LSC <= ISL-TAGE <= TAGE <= GEHL <= gshare on the suite.
+func TestAccuracyOrderingSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("suite simulation in -short mode")
+	}
+	const n = 60000
+	run := func(mk func() *Model) float64 {
+		suite := &Suite{}
+		for _, tn := range TraceNames() {
+			suite.Add(mk().Run(GenerateTrace(tn, n), Options{Scenario: ScenarioA}))
+		}
+		return suite.TotalMPPKI()
+	}
+	tagelsc := run(TAGELSC512K)
+	isl := run(ISLTAGE)
+	tage := run(ReferenceTAGE)
+	gehl := run(GEHL520K)
+	gsh := run(Gshare512K)
+	if !(tagelsc < isl && isl < tage && tage < gehl && gehl < gsh) {
+		t.Fatalf("ordering violated: TAGE-LSC=%.0f ISL=%.0f TAGE=%.0f GEHL=%.0f gshare=%.0f",
+			tagelsc, isl, tage, gehl, gsh)
+	}
+}

@@ -1,0 +1,79 @@
+package repro
+
+import (
+	"io"
+
+	"repro/internal/experiments"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// TraceNames lists the 40 synthetic benchmark traces (5 categories x 8).
+func TraceNames() []string {
+	specs := workload.All()
+	names := make([]string, len(specs))
+	for i, s := range specs {
+		names[i] = s.Name
+	}
+	return names
+}
+
+// HardTraces reports the seven deliberately hard traces of the suite
+// (the Section 2.2 high-misprediction subset).
+func HardTraces() map[string]bool {
+	out := map[string]bool{}
+	for k, v := range workload.HardNames {
+		out[k] = v
+	}
+	return out
+}
+
+// GenerateTrace synthesises `branches` branches of the named benchmark
+// deterministically. It panics on an unknown name (see TraceNames).
+func GenerateTrace(name string, branches int) *Trace {
+	tr, err := workload.GenerateByName(name, branches)
+	if err != nil {
+		panic(err)
+	}
+	return tr
+}
+
+// WriteTrace encodes a trace in the compact binary format.
+func WriteTrace(w io.Writer, tr *Trace) error { return trace.Write(w, tr) }
+
+// ReadTrace decodes a trace written by WriteTrace.
+func ReadTrace(r io.Reader) (*Trace, error) { return trace.Read(r) }
+
+// SummarizeTrace computes summary statistics for a trace.
+func SummarizeTrace(tr *Trace) trace.Stats { return trace.Summarize(tr) }
+
+// Experiment identifiers (E1..E15) map to the paper's tables and figures;
+// see DESIGN.md for the index.
+type (
+	// ExperimentReport is the paper-vs-measured outcome of one experiment.
+	ExperimentReport = experiments.Report
+	// ExperimentConfig scales experiment runs.
+	ExperimentConfig = experiments.Config
+)
+
+// ExperimentIDs lists the available experiment identifiers in paper order.
+func ExperimentIDs() []string {
+	var ids []string
+	for _, e := range experiments.Registry() {
+		ids = append(ids, e.ID)
+	}
+	return ids
+}
+
+// RunExperiment executes one experiment (see ExperimentIDs) and returns
+// its report. ok is false for an unknown id.
+func RunExperiment(id string, cfg ExperimentConfig) (ExperimentReport, bool) {
+	e, found := experiments.Lookup(id)
+	if !found {
+		return ExperimentReport{}, false
+	}
+	return e.Run(cfg), true
+}
+
+// RenderReport writes a report as aligned text.
+func RenderReport(w io.Writer, r ExperimentReport) { experiments.Render(w, r) }
