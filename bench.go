@@ -1,0 +1,149 @@
+package repro
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/harness"
+)
+
+// The batch-experiment harness (internal/harness) exposed through the
+// facade: declare a matrix of models × traces × scenarios × trace
+// lengths, execute it on a sharded worker pool, stream records to a
+// sink, and diff runs against a JSONL baseline. cmd/bpbench is a thin
+// wrapper over these entry points.
+type (
+	// BenchMatrix declares an experiment grid.
+	BenchMatrix = harness.Matrix
+	// BenchModel is a model as the harness runs it.
+	BenchModel = harness.Model
+	// BenchConfig controls matrix execution (parallelism, caching).
+	BenchConfig = harness.Config
+	// BenchRecord is the streaming result unit (one cell or aggregate).
+	BenchRecord = harness.Record
+	// BenchSummary is the outcome of a matrix run.
+	BenchSummary = harness.Summary
+	// BenchSink consumes records as they stream out of a run.
+	BenchSink = harness.Sink
+	// BenchDiffOptions tunes baseline regression detection.
+	BenchDiffOptions = harness.DiffOptions
+	// BenchDiffReport summarises a baseline comparison.
+	BenchDiffReport = harness.DiffReport
+)
+
+// ParseScenario maps a scenario flag value ("I", "A", "B", "C", case
+// insensitive) to its Scenario; it is the single flag→Scenario mapping
+// shared by bpsim and bpbench.
+func ParseScenario(s string) (Scenario, error) {
+	scs, err := harness.ParseScenarios(s)
+	if err != nil {
+		return 0, err
+	}
+	if len(scs) != 1 {
+		return 0, fmt.Errorf("repro: want exactly one scenario, got %q", s)
+	}
+	return scs[0], nil
+}
+
+// ParseScenarios maps a comma-separated scenario list ("A,C") to
+// scenarii, rejecting duplicates and unknown letters.
+func ParseScenarios(csv string) ([]Scenario, error) {
+	return harness.ParseScenarios(csv)
+}
+
+// LookupModel resolves a model identifier (see Models) to a fresh Model,
+// with an error naming the valid identifiers on a miss.
+func LookupModel(name string) (*Model, error) {
+	mk, ok := Models()[name]
+	if !ok {
+		return nil, fmt.Errorf("repro: unknown model %q (have %s)", name, strings.Join(ModelNames(), ", "))
+	}
+	return mk(), nil
+}
+
+// ModelNames lists the model identifiers in sorted order.
+func ModelNames() []string {
+	var names []string
+	for name := range Models() {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// BenchModels resolves model identifiers to harness models. Each cell
+// executed for the model constructs a fresh predictor (cold state).
+func BenchModels(names []string) ([]BenchModel, error) {
+	out := make([]BenchModel, 0, len(names))
+	for _, name := range names {
+		m, err := LookupModel(name)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, BenchModel{
+			Name:        name,
+			StorageBits: m.StorageBits(),
+			Run:         m.Run,
+		})
+	}
+	return out, nil
+}
+
+// NewBenchMatrix assembles a matrix from CLI-shaped inputs: model
+// identifiers, trace-name globs (empty = all 40), a comma-separated
+// scenario list, and branches-per-trace lengths.
+func NewBenchMatrix(models, traceGlobs []string, scenarios string, lengths []int) (*BenchMatrix, error) {
+	ms, err := BenchModels(models)
+	if err != nil {
+		return nil, err
+	}
+	specs, err := harness.SelectTraces(traceGlobs)
+	if err != nil {
+		return nil, err
+	}
+	scs, err := harness.ParseScenarios(scenarios)
+	if err != nil {
+		return nil, err
+	}
+	if len(lengths) == 0 {
+		return nil, fmt.Errorf("repro: bench matrix needs at least one trace length")
+	}
+	return &BenchMatrix{Models: ms, Traces: specs, Scenarios: scs, Lengths: lengths}, nil
+}
+
+// NewBenchSink constructs a sink by format name: "table", "jsonl", "csv".
+func NewBenchSink(format string, w io.Writer) (BenchSink, error) {
+	return harness.NewSink(format, w)
+}
+
+// RunBench expands the matrix and executes it on the worker pool,
+// streaming records to sink in deterministic order.
+func RunBench(m *BenchMatrix, cfg BenchConfig, sink BenchSink) (*BenchSummary, error) {
+	return harness.Run(m, cfg, sink)
+}
+
+// ReadBenchRecords parses a JSONL record stream (a saved bench run).
+func ReadBenchRecords(r io.Reader) ([]BenchRecord, error) {
+	return harness.ReadRecords(r)
+}
+
+// BenchDiff compares a fresh run against a baseline, cell by cell on
+// MPKI, flagging movements beyond the tolerance.
+func BenchDiff(old, new []BenchRecord, opt BenchDiffOptions) *BenchDiffReport {
+	return harness.Diff(old, new, opt)
+}
+
+// BenchDiffFiles diffs two saved JSONL runs by path.
+func BenchDiffFiles(oldPath, newPath string, opt BenchDiffOptions) (*BenchDiffReport, error) {
+	old, err := harness.ReadRecordsFile(oldPath)
+	if err != nil {
+		return nil, err
+	}
+	new, err := harness.ReadRecordsFile(newPath)
+	if err != nil {
+		return nil, err
+	}
+	return harness.Diff(old, new, opt), nil
+}

@@ -1,0 +1,70 @@
+package repro
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestBenchFacadeEndToEnd(t *testing.T) {
+	m, err := NewBenchMatrix([]string{"gshare"}, []string{"INT0[12]"}, "A,B", []int{1500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	sink, err := NewBenchSink("jsonl", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := RunBench(m, BenchConfig{Parallelism: 4}, sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Jobs != 4 || sum.Failed != 0 {
+		t.Fatalf("summary = %+v", sum)
+	}
+	recs, err := ReadBenchRecords(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 cells + (INT category, hard, suite) per scenario group.
+	if len(recs) != 10 {
+		t.Fatalf("got %d records, want 10", len(recs))
+	}
+	// A self-diff of the run must be clean.
+	rep := BenchDiff(recs, recs, BenchDiffOptions{})
+	if rep.HasRegressions() || rep.Cells != 4 {
+		t.Fatalf("self-diff = %+v", rep)
+	}
+}
+
+func TestBenchModelsResolveAndReject(t *testing.T) {
+	ms, err := BenchModels([]string{"tage", "gshare"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 2 || ms[0].Name != "tage" || ms[0].StorageBits <= 0 || ms[0].Run == nil {
+		t.Fatalf("models = %+v", ms)
+	}
+	if _, err := BenchModels([]string{"tage", "bogus"}); err == nil {
+		t.Fatal("unknown model must error")
+	}
+	if _, err := NewBenchMatrix([]string{"tage"}, nil, "A", nil); err == nil {
+		t.Fatal("missing lengths must error")
+	}
+}
+
+func TestModelNamesSortedAndComplete(t *testing.T) {
+	names := ModelNames()
+	if len(names) != len(Models()) {
+		t.Fatalf("ModelNames covers %d of %d models", len(names), len(Models()))
+	}
+	if !strings.HasPrefix(names[0], "ftlpp") {
+		t.Fatalf("names not sorted: %v", names)
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("names not sorted: %v", names)
+		}
+	}
+}

@@ -1,0 +1,59 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"testing"
+
+	"repro"
+)
+
+// TestGoldenBaseline re-runs the CI smoke matrix (2 models x 2
+// scenarios over INT01 at 20k branches) and diffs it against the
+// checked-in baseline: the same gate .github/workflows/ci.yml applies
+// via `bpbench diff`. If a predictor change legitimately moves these
+// numbers, regenerate the baseline:
+//
+//	go run ./cmd/bpbench -models tage,gshare -scenarios A,C -traces INT01 \
+//	  -branches 20000 -format jsonl -o cmd/bpbench/testdata/ci-golden.jsonl
+func TestGoldenBaseline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden matrix run in -short mode")
+	}
+	var out, errOut bytes.Buffer
+	code := run([]string{
+		"-models", "tage,gshare", "-scenarios", "A,C", "-traces", "INT01",
+		"-branches", "20000", "-format", "jsonl",
+	}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("matrix run exit %d: %s", code, errOut.String())
+	}
+	fresh, err := repro.ReadBenchRecords(&out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden, err := repro.ReadBenchRecords(strings.NewReader(goldenJSONL(t)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := repro.BenchDiff(golden, fresh, repro.BenchDiffOptions{})
+	if rep.Cells != 4 {
+		t.Fatalf("compared %d cells, want 4", rep.Cells)
+	}
+	if rep.HasRegressions() || len(rep.Improvements) > 0 ||
+		len(rep.MissingInNew) > 0 || len(rep.MissingInOld) > 0 {
+		var buf bytes.Buffer
+		rep.Render(&buf)
+		t.Fatalf("run drifted from testdata/ci-golden.jsonl (regenerate it if the change is intended):\n%s", buf.String())
+	}
+}
+
+func goldenJSONL(t *testing.T) string {
+	t.Helper()
+	data, err := os.ReadFile("testdata/ci-golden.jsonl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}

@@ -1,0 +1,189 @@
+// Command bpbench sweeps a declarative experiment matrix — models ×
+// traces × update scenarii × trace lengths — on a sharded worker pool
+// and streams per-cell plus aggregate records to a table, JSONL or CSV
+// sink. A saved JSONL run doubles as a baseline for regression diffing:
+//
+//	bpbench -models tage,gshare -scenarios A,C -traces 'INT*' -format jsonl
+//	bpbench -models tage -scenarios I,A,B,C -branches 200000,1000000
+//	bpbench diff old.jsonl new.jsonl -tolerance 0.05
+//	bpbench -list
+//
+// In diff mode the exit status is non-zero when any cell's MPKI
+// regressed beyond the tolerance (or a cell newly fails), making bpbench
+// a drop-in CI gate for predictor changes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point; it returns the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	if len(args) > 0 && args[0] == "diff" {
+		return runDiff(args[1:], stdout, stderr)
+	}
+	fs := flag.NewFlagSet("bpbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		models    = fs.String("models", "tage", "comma-separated model identifiers (see -list)")
+		scenarios = fs.String("scenarios", "A", "comma-separated update scenarii: I, A, B, C")
+		traces    = fs.String("traces", "", "comma-separated trace-name globs, e.g. 'INT*,MM05' (default: all 40)")
+		branches  = fs.String("branches", "200000", "comma-separated branches-per-trace lengths")
+		include   = fs.String("include", "", "comma-separated cell globs to keep (model/trace/scenario/branches)")
+		exclude   = fs.String("exclude", "", "comma-separated cell globs to drop")
+		format    = fs.String("format", "table", "output format: table, jsonl or csv")
+		outPath   = fs.String("o", "", "write records to this file instead of stdout")
+		parallel  = fs.Int("parallelism", 0, "max concurrent jobs (default: NumCPU)")
+		window    = fs.Int("window", 0, "in-flight branch window (default 24)")
+		execDelay = fs.Int("execdelay", 0, "fetch-to-execute distance in branches (default 6)")
+		noCache   = fs.Bool("notracecache", false, "regenerate the trace for every job instead of sharing per (trace, length)")
+		noAgg     = fs.Bool("noaggregates", false, "suppress category/hard/suite rollup records")
+		list      = fs.Bool("list", false, "list models and traces, then exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() > 0 {
+		fmt.Fprintf(stderr, "bpbench: unexpected arguments %q (did you mean 'bpbench diff'?)\n", fs.Args())
+		return 2
+	}
+	if *list {
+		fmt.Fprintln(stdout, "models: ", strings.Join(repro.ModelNames(), " "))
+		fmt.Fprintln(stdout, "traces: ", strings.Join(repro.TraceNames(), " "))
+		return 0
+	}
+
+	if *window < 0 || *execDelay < 0 {
+		fmt.Fprintln(stderr, "bpbench: -window and -execdelay must be non-negative (0 = default)")
+		return 2
+	}
+	lengths, err := parseLengths(*branches)
+	if err != nil {
+		fmt.Fprintln(stderr, "bpbench:", err)
+		return 2
+	}
+	m, err := repro.NewBenchMatrix(splitList(*models), splitList(*traces), *scenarios, lengths)
+	if err != nil {
+		fmt.Fprintln(stderr, "bpbench:", err)
+		return 2
+	}
+	m.Include = splitList(*include)
+	m.Exclude = splitList(*exclude)
+	m.Window = *window
+	m.ExecDelay = *execDelay
+
+	out := stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fmt.Fprintln(stderr, "bpbench:", err)
+			return 2
+		}
+		defer f.Close()
+		out = f
+	}
+	sink, err := repro.NewBenchSink(*format, out)
+	if err != nil {
+		fmt.Fprintln(stderr, "bpbench:", err)
+		return 2
+	}
+
+	cfg := repro.BenchConfig{Parallelism: *parallel, NoTraceCache: *noCache, NoAggregates: *noAgg}
+	sum, err := repro.RunBench(m, cfg, sink)
+	if err != nil {
+		fmt.Fprintln(stderr, "bpbench:", err)
+		return 2
+	}
+	if sum.Jobs == 0 {
+		fmt.Fprintln(stderr, "bpbench: filters matched no cells")
+		return 2
+	}
+	if sum.Failed > 0 {
+		fmt.Fprintf(stderr, "bpbench: %d of %d jobs failed\n", sum.Failed, sum.Jobs)
+		return 1
+	}
+	return 0
+}
+
+// runDiff implements `bpbench diff old.jsonl new.jsonl`.
+func runDiff(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("bpbench diff", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		tolerance = fs.Float64("tolerance", 0.02, "relative MPKI increase tolerated before a cell counts as a regression")
+		absFloor  = fs.Float64("absfloor", 0.005, "absolute MPKI delta below which a cell never regresses")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 2 {
+		fmt.Fprintln(stderr, "usage: bpbench diff [-tolerance t] [-absfloor a] old.jsonl new.jsonl")
+		return 2
+	}
+	// An explicit `-tolerance 0` / `-absfloor 0` means strict exact
+	// matching, which the library expresses as a negative value (its
+	// zero value selects the defaults).
+	opt := repro.BenchDiffOptions{Tolerance: *tolerance, AbsFloor: *absFloor}
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "tolerance" && opt.Tolerance == 0 {
+			opt.Tolerance = -1
+		}
+		if f.Name == "absfloor" && opt.AbsFloor == 0 {
+			opt.AbsFloor = -1
+		}
+	})
+	rep, err := repro.BenchDiffFiles(fs.Arg(0), fs.Arg(1), opt)
+	if err != nil {
+		fmt.Fprintln(stderr, "bpbench:", err)
+		return 2
+	}
+	rep.Render(stdout)
+	if rep.Cells == 0 {
+		// A baseline that parses to nothing (truncated file, disjoint
+		// matrices) must not make the gate pass vacuously.
+		fmt.Fprintln(stderr, "bpbench: no overlapping cells between baseline and new run")
+		return 2
+	}
+	if rep.HasRegressions() {
+		return 1
+	}
+	return 0
+}
+
+// splitList splits a comma-separated flag, dropping empty elements.
+func splitList(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// parseLengths parses the -branches axis.
+func parseLengths(s string) ([]int, error) {
+	var out []int
+	for _, p := range splitList(s) {
+		n, err := strconv.Atoi(p)
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad branch count %q", p)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty -branches list")
+	}
+	return out, nil
+}

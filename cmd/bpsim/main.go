@@ -11,11 +11,25 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"sort"
 	"strings"
 
 	"repro"
 )
+
+// resolve maps the -model and -scenario flag values to a Model and a
+// Scenario through the shared repro-level parsers (the same mapping
+// bpbench uses), so flag handling is testable without running main.
+func resolve(model, scenario string) (*repro.Model, repro.Scenario, error) {
+	m, err := repro.LookupModel(model)
+	if err != nil {
+		return nil, 0, err
+	}
+	sc, err := repro.ParseScenario(scenario)
+	if err != nil {
+		return nil, 0, err
+	}
+	return m, sc, nil
+}
 
 func main() {
 	model := flag.String("model", "tage", "predictor model (see -list)")
@@ -27,33 +41,14 @@ func main() {
 	flag.Parse()
 
 	if *list {
-		var names []string
-		for name := range repro.Models() {
-			names = append(names, name)
-		}
-		sort.Strings(names)
-		fmt.Println("models: ", strings.Join(names, " "))
+		fmt.Println("models: ", strings.Join(repro.ModelNames(), " "))
 		fmt.Println("traces: ", strings.Join(repro.TraceNames(), " "))
 		return
 	}
 
-	mk, ok := repro.Models()[*model]
-	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown model %q (try -list)\n", *model)
-		os.Exit(1)
-	}
-	var sc repro.Scenario
-	switch strings.ToUpper(*scenario) {
-	case "I":
-		sc = repro.ScenarioI
-	case "A":
-		sc = repro.ScenarioA
-	case "B":
-		sc = repro.ScenarioB
-	case "C":
-		sc = repro.ScenarioC
-	default:
-		fmt.Fprintf(os.Stderr, "unknown scenario %q\n", *scenario)
+	m, sc, err := resolve(*model, *scenario)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bpsim: %v (try -list)\n", err)
 		os.Exit(1)
 	}
 	opt := repro.Options{Scenario: sc, Window: *window}
@@ -62,14 +57,13 @@ func main() {
 	if *traceName != "" {
 		names = []string{*traceName}
 	}
-	m := mk()
 	fmt.Printf("# model=%s storage=%dKbit scenario=%s branches/trace=%d\n",
 		m.Name(), m.StorageBits()/1024, sc, *branches)
 
 	suite := &repro.Suite{}
 	for _, name := range names {
 		tr := repro.GenerateTrace(name, *branches)
-		res := mk().Run(tr, opt)
+		res := m.Run(tr, opt)
 		suite.Add(res)
 		fmt.Printf("%-10s MPKI=%7.3f MPPKI=%8.2f mispredict=%5.2f%% accesses/branch=%.3f\n",
 			res.Trace, res.MPKI, res.MPPKI, 100*res.Misprediction,

@@ -1,0 +1,59 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro"
+)
+
+func TestResolveValidCombinations(t *testing.T) {
+	cases := []struct {
+		model, scenario string
+		want            repro.Scenario
+	}{
+		{"tage", "I", repro.ScenarioI},
+		{"tage", "A", repro.ScenarioA},
+		{"gshare", "b", repro.ScenarioB},
+		{"tage-lsc", " c ", repro.ScenarioC},
+	}
+	for _, c := range cases {
+		m, sc, err := resolve(c.model, c.scenario)
+		if err != nil {
+			t.Fatalf("resolve(%q, %q): %v", c.model, c.scenario, err)
+		}
+		if sc != c.want {
+			t.Errorf("resolve(%q, %q) scenario = %v, want %v", c.model, c.scenario, sc, c.want)
+		}
+		if m == nil || m.StorageBits() <= 0 {
+			t.Errorf("resolve(%q, %q) returned unusable model", c.model, c.scenario)
+		}
+	}
+}
+
+func TestResolveEveryListedModel(t *testing.T) {
+	for _, name := range repro.ModelNames() {
+		if _, _, err := resolve(name, "A"); err != nil {
+			t.Errorf("listed model %q does not resolve: %v", name, err)
+		}
+	}
+}
+
+func TestResolveUnknownModel(t *testing.T) {
+	_, _, err := resolve("not-a-predictor", "A")
+	if err == nil {
+		t.Fatal("unknown model must error")
+	}
+	// The error must name the valid identifiers so -list is discoverable.
+	if !strings.Contains(err.Error(), "not-a-predictor") || !strings.Contains(err.Error(), "tage") {
+		t.Errorf("unhelpful error: %v", err)
+	}
+}
+
+func TestResolveUnknownScenario(t *testing.T) {
+	for _, bad := range []string{"", "X", "AA", "A,C"} {
+		if _, _, err := resolve("tage", bad); err == nil {
+			t.Errorf("scenario %q must be rejected", bad)
+		}
+	}
+}

@@ -10,11 +10,11 @@ package experiments
 import (
 	"fmt"
 	"runtime"
-	"sync"
 
 	"repro/internal/composed"
 	"repro/internal/gehl"
 	"repro/internal/gshare"
+	"repro/internal/harness"
 	"repro/internal/predictor"
 	"repro/internal/sim"
 	"repro/internal/tage"
@@ -98,25 +98,18 @@ func (r *Report) row(label, paper, format string, args ...any) {
 type SuiteRunner func(cfg Config, opts sim.Options) *sim.Suite
 
 // MakeRunner adapts a typed predictor constructor into a SuiteRunner. The
-// constructor is invoked once per trace so every trace sees cold state.
+// constructor is invoked once per trace so every trace sees cold state;
+// the sweep fans out on the harness worker pool (results stay in suite
+// order, trace generation stays keyed to each spec's own seed, so suite
+// values are identical at any parallelism).
 func MakeRunner[C any](mk func() predictor.Predictor[C]) SuiteRunner {
 	return func(cfg Config, opts sim.Options) *sim.Suite {
 		cfg = cfg.withDefaults()
 		specs := workload.All()
-		results := make([]sim.Result, len(specs))
-		var wg sync.WaitGroup
-		sem := make(chan struct{}, cfg.Parallelism)
-		for i, spec := range specs {
-			wg.Add(1)
-			go func(i int, spec workload.Spec) {
-				defer wg.Done()
-				sem <- struct{}{}
-				defer func() { <-sem }()
-				tr := workload.Generate(spec, cfg.BranchesPerTrace)
-				results[i] = sim.RunTrace(mk(), tr, opts)
-			}(i, spec)
-		}
-		wg.Wait()
+		results := harness.Map(len(specs), cfg.Parallelism, func(i int) sim.Result {
+			tr := workload.Generate(specs[i], cfg.BranchesPerTrace)
+			return sim.RunTrace(mk(), tr, opts)
+		})
 		s := &sim.Suite{}
 		for _, r := range results {
 			s.Add(r)

@@ -1,0 +1,204 @@
+package harness
+
+import (
+	"fmt"
+	"path"
+	"sort"
+	"strings"
+
+	"repro/internal/bitutil"
+	"repro/internal/predictor"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// Model is a named predictor configuration the harness can run. Run must
+// simulate a freshly-constructed predictor over the trace (cold state per
+// job); the root repro package adapts its Model type to this shape.
+type Model struct {
+	Name        string
+	StorageBits int
+	Run         func(tr *trace.Trace, opt sim.Options) sim.Result
+}
+
+// Matrix declares an experiment grid. Expansion order is stable:
+// models, then traces, then scenarios, then lengths — so two runs of the
+// same matrix produce records in the same order.
+type Matrix struct {
+	Models    []Model
+	Traces    []workload.Spec
+	Scenarios []predictor.Scenario
+	// Lengths lists branches-per-trace values (one job per length).
+	Lengths []int
+	// Include and Exclude are glob filters over expanded cells. A pattern
+	// containing '/' is matched (path.Match) against the full cell key
+	// "model/trace/scenario/branches"; otherwise it is matched against
+	// each of the four fields individually. Empty Include means
+	// include-all; Exclude wins over Include.
+	Include []string
+	Exclude []string
+	// Window and ExecDelay configure the pipeline model (sim defaults
+	// apply when zero).
+	Window    int
+	ExecDelay int
+}
+
+// Job is one expanded cell of the matrix.
+type Job struct {
+	// Index is the cell's position in expansion order; records stream in
+	// this order regardless of worker scheduling.
+	Index    int
+	Model    Model
+	Spec     workload.Spec
+	Scenario predictor.Scenario
+	Branches int
+	// Seed is the job's deterministic seed, derived from the cell key; it
+	// is recorded in the Record so any cell can be re-run in isolation.
+	Seed uint64
+	Opts sim.Options
+}
+
+// Key is the canonical cell identifier "model/trace/scenario/branches".
+func (j Job) Key() string {
+	return CellKey(j.Model.Name, j.Spec.Name, j.Scenario.Letter(), j.Branches)
+}
+
+// CellKey formats the canonical cell identifier.
+func CellKey(model, trace, scenario string, branches int) string {
+	return fmt.Sprintf("%s/%s/%s/%d", model, trace, scenario, branches)
+}
+
+// JobSeed derives the deterministic per-job seed from the cell key: an
+// FNV-1a hash finalised with a strong mixer. The trace itself is always
+// generated from the workload spec's own seed (so every model and
+// scenario sees the identical branch stream); JobSeed covers any
+// per-cell randomness a future axis may need and uniquely tags records.
+func JobSeed(key string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= 1099511628211
+	}
+	return bitutil.Mix64(h)
+}
+
+// matchCell reports whether any of the patterns selects the cell.
+func matchCell(patterns []string, j Job) bool {
+	fields := []string{j.Model.Name, j.Spec.Name, j.Scenario.Letter(), fmt.Sprint(j.Branches)}
+	key := j.Key()
+	for _, p := range patterns {
+		if strings.ContainsRune(p, '/') {
+			if ok, _ := path.Match(p, key); ok {
+				return true
+			}
+			continue
+		}
+		for _, f := range fields {
+			if ok, _ := path.Match(p, f); ok {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Expand materialises the matrix into its job list, applying filters.
+// It returns an error when the grid is structurally empty (a missing
+// axis), as opposed to filtered down to nothing (which yields an empty,
+// non-error job list).
+func (m *Matrix) Expand() ([]Job, error) {
+	for _, patterns := range [][]string{m.Include, m.Exclude} {
+		for _, p := range patterns {
+			if _, err := path.Match(p, "probe"); err != nil {
+				return nil, fmt.Errorf("harness: bad cell pattern %q: %w", p, err)
+			}
+		}
+	}
+	if len(m.Models) == 0 {
+		return nil, fmt.Errorf("harness: matrix has no models")
+	}
+	if len(m.Traces) == 0 {
+		return nil, fmt.Errorf("harness: matrix has no traces")
+	}
+	if len(m.Scenarios) == 0 {
+		return nil, fmt.Errorf("harness: matrix has no scenarios")
+	}
+	lengths := m.Lengths
+	if len(lengths) == 0 {
+		return nil, fmt.Errorf("harness: matrix has no trace lengths")
+	}
+	var jobs []Job
+	for _, mdl := range m.Models {
+		for _, spec := range m.Traces {
+			for _, sc := range m.Scenarios {
+				for _, n := range lengths {
+					j := Job{
+						Model:    mdl,
+						Spec:     spec,
+						Scenario: sc,
+						Branches: n,
+						Opts:     sim.Options{Scenario: sc, Window: m.Window, ExecDelay: m.ExecDelay},
+					}
+					if len(m.Include) > 0 && !matchCell(m.Include, j) {
+						continue
+					}
+					if matchCell(m.Exclude, j) {
+						continue
+					}
+					j.Index = len(jobs)
+					j.Seed = JobSeed(j.Key())
+					jobs = append(jobs, j)
+				}
+			}
+		}
+	}
+	return jobs, nil
+}
+
+// SelectTraces resolves trace-name glob patterns (e.g. "INT*") against
+// the 40-benchmark suite; see workload.Select for the matching rules.
+func SelectTraces(patterns []string) ([]workload.Spec, error) {
+	return workload.Select(patterns)
+}
+
+// ParseScenarios converts a comma-separated scenario list ("A,C") into
+// predictor scenarii, rejecting duplicates and unknown letters.
+func ParseScenarios(csv string) ([]predictor.Scenario, error) {
+	var out []predictor.Scenario
+	seen := make(map[predictor.Scenario]bool)
+	for _, part := range strings.Split(csv, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		var sc predictor.Scenario
+		switch strings.ToUpper(part) {
+		case "I":
+			sc = predictor.ScenarioI
+		case "A":
+			sc = predictor.ScenarioA
+		case "B":
+			sc = predictor.ScenarioB
+		case "C":
+			sc = predictor.ScenarioC
+		default:
+			return nil, fmt.Errorf("harness: unknown scenario %q (want I, A, B or C)", part)
+		}
+		if seen[sc] {
+			return nil, fmt.Errorf("harness: duplicate scenario %q", part)
+		}
+		seen[sc] = true
+		out = append(out, sc)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("harness: empty scenario list")
+	}
+	return out, nil
+}
+
+// SortModels orders models by name for stable matrix construction when
+// the caller assembled them from an unordered source (a map).
+func SortModels(ms []Model) {
+	sort.Slice(ms, func(a, b int) bool { return ms[a].Name < ms[b].Name })
+}

@@ -1,0 +1,101 @@
+package harness
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Record kinds. Cell records carry one (model, trace, scenario, length)
+// measurement; the aggregate kinds roll cells up per category, over the
+// hard-trace subset, and over the whole suite, always within one
+// (model, scenario, length) group.
+const (
+	KindCell     = "cell"
+	KindCategory = "category"
+	KindHard     = "hard"
+	KindSuite    = "suite"
+)
+
+// Record is the harness's streaming result unit: a flattened, sink- and
+// JSON-friendly view of one cell or aggregate. Aggregate records report
+// MPKI/MPPKI as per-cell means and additionally carry the sums (the
+// paper quotes suite MPPKI as a sum over the 40 traces).
+type Record struct {
+	Kind     string `json:"kind"`
+	Model    string `json:"model"`
+	Trace    string `json:"trace,omitempty"`
+	Category string `json:"category,omitempty"`
+	Scenario string `json:"scenario"`
+	Branches int    `json:"branches"`
+	Seed     uint64 `json:"seed,omitempty"`
+
+	// Window and ExecDelay record the pipeline configuration actually
+	// used, so diffs across runs with different pipeline models are
+	// flagged instead of silently compared.
+	Window    int `json:"window,omitempty"`
+	ExecDelay int `json:"exec_delay,omitempty"`
+
+	MPKI          float64 `json:"mpki"`
+	MPPKI         float64 `json:"mppki"`
+	MPKISum       float64 `json:"mpki_sum,omitempty"`
+	MPPKISum      float64 `json:"mppki_sum,omitempty"`
+	Mispredicts   uint64  `json:"mispredicts"`
+	MicroOps      uint64  `json:"micro_ops,omitempty"`
+	Misprediction float64 `json:"misprediction_rate,omitempty"`
+
+	// Cells is the number of cell records an aggregate covers.
+	Cells int `json:"cells,omitempty"`
+	// Err is set (and the metric fields zero) when the job panicked.
+	Err string `json:"error,omitempty"`
+}
+
+// Failed reports whether the record describes a failed job.
+func (r Record) Failed() bool { return r.Err != "" }
+
+// Key returns the cell identifier used for baseline diffing. Aggregates
+// use their kind plus grouping fields so they diff like cells.
+func (r Record) Key() string {
+	switch r.Kind {
+	case KindCell, "":
+		return CellKey(r.Model, r.Trace, r.Scenario, r.Branches)
+	case KindCategory:
+		return fmt.Sprintf("%s:%s/%s/%s/%d", r.Kind, r.Model, r.Category, r.Scenario, r.Branches)
+	default:
+		return fmt.Sprintf("%s:%s/%s/%d", r.Kind, r.Model, r.Scenario, r.Branches)
+	}
+}
+
+// cellRecord flattens a simulation result into a cell Record.
+func cellRecord(j Job, res sim.Result) Record {
+	return Record{
+		Kind:          KindCell,
+		Model:         j.Model.Name,
+		Trace:         j.Spec.Name,
+		Category:      j.Spec.Category,
+		Scenario:      j.Scenario.Letter(),
+		Branches:      j.Branches,
+		Seed:          j.Seed,
+		Window:        res.Window,
+		ExecDelay:     res.ExecDelay,
+		MPKI:          res.MPKI,
+		MPPKI:         res.MPPKI,
+		Mispredicts:   res.Mispredicts,
+		MicroOps:      res.MicroOps,
+		Misprediction: res.Misprediction,
+	}
+}
+
+// failedRecord tags a panicked job.
+func failedRecord(j Job, err error) Record {
+	return Record{
+		Kind:     KindCell,
+		Model:    j.Model.Name,
+		Trace:    j.Spec.Name,
+		Category: j.Spec.Category,
+		Scenario: j.Scenario.Letter(),
+		Branches: j.Branches,
+		Seed:     j.Seed,
+		Err:      err.Error(),
+	}
+}

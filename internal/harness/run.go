@@ -1,0 +1,230 @@
+package harness
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// Config controls matrix execution.
+type Config struct {
+	// Parallelism bounds concurrent jobs (default: NumCPU).
+	Parallelism int
+	// NoTraceCache disables sharing of generated traces between jobs.
+	// By default a trace is synthesised once per (benchmark, length) and
+	// reused across every model and scenario touching it — the dominant
+	// saving in wide matrices — at the cost of holding distinct traces in
+	// memory for the duration of the run.
+	NoTraceCache bool
+	// NoAggregates suppresses the category/hard/suite rollup records.
+	NoAggregates bool
+}
+
+func (c Config) workers() int {
+	if c.Parallelism > 0 {
+		return c.Parallelism
+	}
+	return runtime.NumCPU()
+}
+
+// Summary is the outcome of a matrix run.
+type Summary struct {
+	Jobs    int
+	Failed  int
+	Records []Record // every record emitted, in emission order
+}
+
+// traceCache memoises workload generation per (benchmark, length). Each
+// entry is built at most once even under concurrent demand.
+type traceCache struct {
+	mu sync.Mutex
+	m  map[string]*traceEntry
+}
+
+type traceEntry struct {
+	once sync.Once
+	tr   *trace.Trace
+}
+
+func (c *traceCache) get(spec workload.Spec, branches int) *trace.Trace {
+	key := fmt.Sprintf("%s/%d", spec.Name, branches)
+	c.mu.Lock()
+	e, ok := c.m[key]
+	if !ok {
+		e = &traceEntry{}
+		c.m[key] = e
+	}
+	c.mu.Unlock()
+	e.once.Do(func() { e.tr = workload.Generate(spec, branches) })
+	return e.tr
+}
+
+// Run expands the matrix and executes every job on the worker pool,
+// streaming records to sink in deterministic order: cells in expansion
+// order (a reorder buffer decouples worker completion order from
+// emission order, so output starts as soon as the first cell finishes),
+// then aggregates grouped per (model, scenario, length). A job that
+// panics yields a Record with Err set and does not abort the run.
+func Run(m *Matrix, cfg Config, sink Sink) (*Summary, error) {
+	jobs, err := m.Expand()
+	if err != nil {
+		return nil, err
+	}
+	return RunJobs(jobs, cfg, sink)
+}
+
+// RunJobs executes an already-expanded job list (see Matrix.Expand).
+func RunJobs(jobs []Job, cfg Config, sink Sink) (*Summary, error) {
+	cache := &traceCache{m: make(map[string]*traceEntry)}
+	results := make([]Record, len(jobs))
+	done := make([]chan struct{}, len(jobs))
+	for i := range done {
+		done[i] = make(chan struct{})
+	}
+
+	go ForEach(len(jobs), cfg.workers(), func(i int) {
+		defer close(done[i])
+		j := jobs[i]
+		var res Record
+		err := Protect(func() {
+			var tr *trace.Trace
+			if cfg.NoTraceCache {
+				tr = workload.Generate(j.Spec, j.Branches)
+			} else {
+				tr = cache.get(j.Spec, j.Branches)
+			}
+			res = cellRecord(j, j.Model.Run(tr, j.Opts))
+		})
+		if err != nil {
+			res = failedRecord(j, err)
+		}
+		results[i] = res
+	})
+
+	sum := &Summary{Jobs: len(jobs)}
+	// A sink failure mid-stream must not strand the worker pool or skip
+	// Close: stop emitting, keep draining, report the first error.
+	var emitErr error
+	emit := func(r Record) {
+		if emitErr != nil {
+			return
+		}
+		sum.Records = append(sum.Records, r)
+		emitErr = sink.Emit(r)
+	}
+	for i := range jobs {
+		<-done[i]
+		if results[i].Failed() {
+			sum.Failed++
+		}
+		emit(results[i])
+	}
+	if emitErr == nil && !cfg.NoAggregates {
+		for _, agg := range Aggregate(results) {
+			emit(agg)
+		}
+	}
+	if closeErr := sink.Close(); emitErr == nil {
+		emitErr = closeErr
+	}
+	return sum, emitErr
+}
+
+// groupKey identifies one (model, scenario, length) aggregation group.
+type groupKey struct {
+	model    string
+	scenario string
+	branches int
+}
+
+type accum struct {
+	mpki, mppki float64
+	mispredicts uint64
+	cells       int
+}
+
+func (a *accum) add(r Record) {
+	a.mpki += r.MPKI
+	a.mppki += r.MPPKI
+	a.mispredicts += r.Mispredicts
+	a.cells++
+}
+
+func (a *accum) record(kind string, g groupKey, category string) Record {
+	r := Record{
+		Kind:        kind,
+		Model:       g.model,
+		Category:    category,
+		Scenario:    g.scenario,
+		Branches:    g.branches,
+		MPKISum:     a.mpki,
+		MPPKISum:    a.mppki,
+		Mispredicts: a.mispredicts,
+		Cells:       a.cells,
+	}
+	if a.cells > 0 {
+		r.MPKI = a.mpki / float64(a.cells)
+		r.MPPKI = a.mppki / float64(a.cells)
+	}
+	return r
+}
+
+// Aggregate rolls successful cell records up into per-category, hard-7
+// and suite aggregates within each (model, scenario, length) group,
+// in a deterministic order: groups in first-appearance order, categories
+// sorted, then hard subset, then suite. Failed cells are excluded from
+// the rollup (their absence is visible via Cells).
+func Aggregate(cells []Record) []Record {
+	var order []groupKey
+	suites := make(map[groupKey]*accum)
+	hards := make(map[groupKey]*accum)
+	cats := make(map[groupKey]map[string]*accum)
+	hardNames := workload.HardNames
+
+	for _, r := range cells {
+		if r.Kind != KindCell && r.Kind != "" {
+			continue
+		}
+		if r.Failed() {
+			continue
+		}
+		g := groupKey{model: r.Model, scenario: r.Scenario, branches: r.Branches}
+		if _, ok := suites[g]; !ok {
+			order = append(order, g)
+			suites[g] = &accum{}
+			hards[g] = &accum{}
+			cats[g] = make(map[string]*accum)
+		}
+		suites[g].add(r)
+		if hardNames[r.Trace] {
+			hards[g].add(r)
+		}
+		c := cats[g][r.Category]
+		if c == nil {
+			c = &accum{}
+			cats[g][r.Category] = c
+		}
+		c.add(r)
+	}
+
+	var out []Record
+	for _, g := range order {
+		catNames := make([]string, 0, len(cats[g]))
+		for name := range cats[g] {
+			catNames = append(catNames, name)
+		}
+		sort.Strings(catNames)
+		for _, name := range catNames {
+			out = append(out, cats[g][name].record(KindCategory, g, name))
+		}
+		if hards[g].cells > 0 {
+			out = append(out, hards[g].record(KindHard, g, ""))
+		}
+		out = append(out, suites[g].record(KindSuite, g, ""))
+	}
+	return out
+}

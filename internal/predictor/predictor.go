@@ -27,6 +27,23 @@ const (
 	ScenarioC
 )
 
+// Letter returns the bare scenario letter ("I", "A", "B", "C"): the
+// machine-readable form used in harness cell keys and CLI flags, versus
+// String's bracketed paper notation.
+func (s Scenario) Letter() string {
+	switch s {
+	case ScenarioI:
+		return "I"
+	case ScenarioA:
+		return "A"
+	case ScenarioB:
+		return "B"
+	case ScenarioC:
+		return "C"
+	}
+	return "?"
+}
+
 // String returns the paper's bracket notation for the scenario.
 func (s Scenario) String() string {
 	switch s {

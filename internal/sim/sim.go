@@ -38,13 +38,16 @@ type Options struct {
 }
 
 func (o Options) withDefaults() Options {
-	if o.Window == 0 {
+	// Non-positive values select the defaults: a negative window would
+	// corrupt the retire ring, and a negative delay or penalty has no
+	// physical meaning.
+	if o.Window <= 0 {
 		o.Window = 24
 	}
-	if o.ExecDelay == 0 {
+	if o.ExecDelay <= 0 {
 		o.ExecDelay = 6
 	}
-	if o.PenaltyBase == 0 {
+	if o.PenaltyBase <= 0 {
 		o.PenaltyBase = 20
 	}
 	return o
@@ -63,6 +66,12 @@ type Result struct {
 	MPPKI         float64 // misprediction penalty per kilo-µop
 	Access        memarray.Stats
 	Misprediction float64 // misprediction rate per branch
+	// Window and ExecDelay record the pipeline configuration the run
+	// actually used (after defaulting): provenance for stored results,
+	// so two runs are never compared across different pipeline models
+	// without noticing.
+	Window    int
+	ExecDelay int
 }
 
 func (r Result) String() string {
@@ -184,6 +193,8 @@ func Run[C any](p predictor.Predictor[C], name, category string, src trace.Sourc
 		MicroOps:    microOps,
 		Mispredicts: mispreds,
 		Access:      *stats,
+		Window:      window,
+		ExecDelay:   opt.ExecDelay,
 	}
 	if microOps > 0 {
 		kilo := float64(microOps) / 1000

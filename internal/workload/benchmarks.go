@@ -2,6 +2,7 @@ package workload
 
 import (
 	"fmt"
+	"path"
 	"sort"
 
 	"repro/internal/trace"
@@ -64,6 +65,42 @@ func Find(name string) (Spec, bool) {
 		}
 	}
 	return Spec{}, false
+}
+
+// Select resolves trace-name glob patterns (e.g. "INT*") against the
+// suite, preserving suite order and deduplicating across overlapping
+// patterns. No patterns selects the whole suite; a pattern that matches
+// no benchmark is an error, so a typo fails loudly instead of silently
+// shrinking a sweep.
+func Select(patterns []string) ([]Spec, error) {
+	all := All()
+	if len(patterns) == 0 {
+		return all, nil
+	}
+	matched := make(map[string]bool)
+	for _, p := range patterns {
+		hit := false
+		for _, s := range all {
+			ok, err := path.Match(p, s.Name)
+			if err != nil {
+				return nil, fmt.Errorf("workload: bad trace pattern %q: %w", p, err)
+			}
+			if ok {
+				matched[s.Name] = true
+				hit = true
+			}
+		}
+		if !hit {
+			return nil, fmt.Errorf("workload: trace pattern %q matches no benchmark", p)
+		}
+	}
+	var out []Spec
+	for _, s := range all {
+		if matched[s.Name] {
+			out = append(out, s)
+		}
+	}
+	return out, nil
 }
 
 // Generate materialises `branches` branches of the benchmark.

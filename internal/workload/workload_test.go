@@ -172,3 +172,29 @@ func TestOpsBeforeDeterministicPerPC(t *testing.T) {
 		ops[b.PC] = b.OpsBefore
 	}
 }
+
+func TestSelectGlobs(t *testing.T) {
+	all, err := Select(nil)
+	if err != nil || len(all) != 40 {
+		t.Fatalf("Select(nil) = %d specs, err=%v", len(all), err)
+	}
+	hard, err := Select([]string{"INT0[12]", "MM05", "INT01"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"INT01", "INT02", "MM05"}
+	if len(hard) != len(want) {
+		t.Fatalf("selected %d specs, want %d", len(hard), len(want))
+	}
+	for i, s := range hard {
+		if s.Name != want[i] {
+			t.Fatalf("selection[%d] = %s, want %s (suite order, deduplicated)", i, s.Name, want[i])
+		}
+	}
+	if _, err := Select([]string{"ZZZ*"}); err == nil {
+		t.Fatal("no-match pattern must error")
+	}
+	if _, err := Select([]string{"[oops"}); err == nil {
+		t.Fatal("malformed pattern must error")
+	}
+}
