@@ -31,6 +31,8 @@ type (
 	BenchDiffOptions = harness.DiffOptions
 	// BenchDiffReport summarises a baseline comparison.
 	BenchDiffReport = harness.DiffReport
+	// BenchPerfRow is one line of the simulator-throughput summary.
+	BenchPerfRow = harness.PerfRow
 )
 
 // ParseScenario maps a scenario flag value ("I", "A", "B", "C", case
@@ -133,6 +135,17 @@ func ReadBenchRecords(r io.Reader) ([]BenchRecord, error) {
 // MPKI, flagging movements beyond the tolerance.
 func BenchDiff(old, new []BenchRecord, opt BenchDiffOptions) *BenchDiffReport {
 	return harness.Diff(old, new, opt)
+}
+
+// BenchPerfRows extracts per-(model, scenario, length) simulator
+// throughput telemetry (branches/sec) from a record stream.
+func BenchPerfRows(records []BenchRecord) []BenchPerfRow {
+	return harness.PerfRows(records)
+}
+
+// RenderBenchPerf writes the human-readable throughput table.
+func RenderBenchPerf(w io.Writer, rows []BenchPerfRow) {
+	harness.RenderPerf(w, rows)
 }
 
 // BenchDiffFiles diffs two saved JSONL runs by path.

@@ -5,6 +5,7 @@
 //
 //	bpbench -models tage,gshare -scenarios A,C -traces 'INT*' -format jsonl
 //	bpbench -models tage -scenarios I,A,B,C -branches 200000,1000000
+//	bpbench -models tage -perf   # branches/sec table on stderr
 //	bpbench diff old.jsonl new.jsonl -tolerance 0.05
 //	bpbench -list
 //
@@ -49,6 +50,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		execDelay = fs.Int("execdelay", 0, "fetch-to-execute distance in branches (default 6)")
 		noCache   = fs.Bool("notracecache", false, "regenerate the trace for every job instead of sharing per (trace, length)")
 		noAgg     = fs.Bool("noaggregates", false, "suppress category/hard/suite rollup records")
+		perf      = fs.Bool("perf", false, "print a simulator-throughput (branches/sec) table to stderr after the run")
 		list      = fs.Bool("list", false, "list models and traces, then exit")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -108,6 +110,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if sum.Jobs == 0 {
 		fmt.Fprintln(stderr, "bpbench: filters matched no cells")
 		return 2
+	}
+	if *perf {
+		// Telemetry, not data: stderr, so it never corrupts a JSONL/CSV
+		// stream on stdout.
+		repro.RenderBenchPerf(stderr, repro.BenchPerfRows(sum.Records))
 	}
 	if sum.Failed > 0 {
 		fmt.Fprintf(stderr, "bpbench: %d of %d jobs failed\n", sum.Failed, sum.Jobs)

@@ -63,7 +63,7 @@ func (t *Table) IndexBanked(pc uint64, bank, banks int) uint32 {
 
 // Read returns the current 2-bit counter value (0..3) at index pi.
 func (t *Table) Read(pi uint32) int32 {
-	return int32(t.pred[pi])<<1 | int32(t.hyst[pi>>t.hShift])
+	return int32(t.pred[pi])<<1 | int32(t.hyst[pi>>(t.hShift&31)])
 }
 
 // Taken reports the direction predicted by a counter value.
@@ -81,7 +81,7 @@ func (t *Table) Write(pi uint32, newCtr int32) {
 	} else {
 		t.stats.RecordWrite(false)
 	}
-	hi := pi >> t.hShift
+	hi := pi >> (t.hShift & 31)
 	if t.hyst[hi] != h {
 		t.hyst[hi] = h
 		t.stats.RecordWrite(true)

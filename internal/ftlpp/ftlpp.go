@@ -75,7 +75,7 @@ type Predictor struct {
 	leng *gehl.Engine
 
 	ghist  *histories.Global
-	folded []*histories.Folded
+	folded []histories.Folded
 	lht    *histories.Local
 	lwidth uint
 }
@@ -117,7 +117,7 @@ func New(cfg Config) *Predictor {
 		lht:    histories.NewLocal(cfg.LHTEntries, uint(maxLocal)),
 		lwidth: uint(maxLocal),
 	}
-	p.folded = make([]*histories.Folded, cfg.GlobalTables)
+	p.folded = make([]histories.Folded, cfg.GlobalTables)
 	for i, l := range glens {
 		if l > 0 {
 			p.folded[i] = histories.NewFolded(l, cfg.GlobalLogEntries)
@@ -152,11 +152,7 @@ func foldLocal(h uint32, width uint) uint32 {
 func (p *Predictor) Predict(pc uint64, ctx *Ctx) bool {
 	var sum int32
 	for i := 0; i < p.cfg.GlobalTables; i++ {
-		var f uint32
-		if p.folded[i] != nil {
-			f = p.folded[i].Value()
-		}
-		idx := p.geng.Index(i, pc, f, 0)
+		idx := p.geng.Index(i, pc, p.folded[i].Value(), 0)
 		c := p.geng.Read(i, idx)
 		ctx.GIdx[i] = idx
 		ctx.GCtr[i] = int8(c)
@@ -179,11 +175,7 @@ func (p *Predictor) Predict(pc uint64, ctx *Ctx) bool {
 // OnResolve implements predictor.Predictor.
 func (p *Predictor) OnResolve(pc uint64, taken, mispredicted bool, ctx *Ctx) {
 	p.ghist.Push(taken)
-	for _, f := range p.folded {
-		if f != nil {
-			f.Update(p.ghist)
-		}
-	}
+	histories.UpdateFolds(p.ghist, p.folded, taken)
 	p.lht.Update(pc, taken)
 }
 

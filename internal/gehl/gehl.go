@@ -179,7 +179,7 @@ type Predictor struct {
 	eng    *Engine
 	cfg    Config
 	ghist  *histories.Global
-	folded []*histories.Folded // nil entry for L=0
+	folded []histories.Folded // zero (inert) entry for L=0
 }
 
 // Ctx is the GEHL pipeline context: table indices and counters read at
@@ -202,7 +202,7 @@ func New(cfg Config) *Predictor {
 		eng:    eng,
 		cfg:    cfg,
 		ghist:  histories.NewGlobal(cfg.MaxHist + 64),
-		folded: make([]*histories.Folded, cfg.NumTables),
+		folded: make([]histories.Folded, cfg.NumTables),
 	}
 	for i, l := range lengths {
 		if l > 0 {
@@ -225,11 +225,7 @@ func (p *Predictor) Predict(pc uint64, ctx *Ctx) bool {
 	n := p.eng.NumTables()
 	var sum int32
 	for i := 0; i < n; i++ {
-		var f uint32
-		if p.folded[i] != nil {
-			f = p.folded[i].Value()
-		}
-		idx := p.eng.Index(i, pc, f, 0)
+		idx := p.eng.Index(i, pc, p.folded[i].Value(), 0)
 		c := p.eng.Read(i, idx)
 		ctx.Indices[i] = idx
 		ctx.Ctrs[i] = int8(c)
@@ -243,11 +239,7 @@ func (p *Predictor) Predict(pc uint64, ctx *Ctx) bool {
 // OnResolve implements predictor.Predictor: speculative history update.
 func (p *Predictor) OnResolve(pc uint64, taken, mispredicted bool, ctx *Ctx) {
 	p.ghist.Push(taken)
-	for _, f := range p.folded {
-		if f != nil {
-			f.Update(p.ghist)
-		}
-	}
+	histories.UpdateFolds(p.ghist, p.folded, taken)
 }
 
 // Retire implements predictor.Predictor: threshold-based update at retire

@@ -38,8 +38,11 @@ type Matrix struct {
 	// include-all; Exclude wins over Include.
 	Include []string
 	Exclude []string
-	// Window and ExecDelay configure the pipeline model (sim defaults
-	// apply when zero).
+	// Window and ExecDelay configure the pipeline model. Zero selects the
+	// sim defaults; negative values are rejected by Expand (the same rule
+	// the bpbench flags enforce, keeping the declarative layer's
+	// validation consistent with sim.Options.withDefaults, which treats
+	// any non-positive value as "use the default").
 	Window    int
 	ExecDelay int
 }
@@ -114,6 +117,9 @@ func (m *Matrix) Expand() ([]Job, error) {
 				return nil, fmt.Errorf("harness: bad cell pattern %q: %w", p, err)
 			}
 		}
+	}
+	if m.Window < 0 || m.ExecDelay < 0 {
+		return nil, fmt.Errorf("harness: negative Window/ExecDelay (%d/%d); zero selects the defaults", m.Window, m.ExecDelay)
 	}
 	if len(m.Models) == 0 {
 		return nil, fmt.Errorf("harness: matrix has no models")

@@ -1,0 +1,103 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+)
+
+// PerfRow is one line of the simulator-throughput summary: the total
+// branches simulated, wall-clock time and branches/sec of one
+// (model, scenario, length) group of cells. It is derived from the same
+// Records the sinks stream, so any saved JSONL run can be re-rendered
+// into a perf table later.
+type PerfRow struct {
+	Model          string
+	Scenario       string
+	Branches       int // requested branches per trace (the matrix axis)
+	Cells          int
+	SimBranches    uint64  // branches actually simulated, summed over cells
+	ElapsedSec     float64 // total wall-clock simulation time over cells
+	BranchesPerSec float64 // SimBranches / ElapsedSec
+}
+
+// PerfRows extracts per-group throughput telemetry from a record stream,
+// in first-appearance order of the groups. Suite aggregates are used when
+// present (they already carry the sums); otherwise cells are accumulated
+// directly, so both full runs and -noaggregates runs produce a table.
+func PerfRows(records []Record) []PerfRow {
+	var order []groupKey
+	acc := make(map[groupKey]*PerfRow)
+	addCell := func(g groupKey, simBranches uint64, elapsed float64, cells int) {
+		row, ok := acc[g]
+		if !ok {
+			row = &PerfRow{Model: g.model, Scenario: g.scenario, Branches: g.branches}
+			acc[g] = row
+			order = append(order, g)
+		}
+		row.Cells += cells
+		row.SimBranches += simBranches
+		row.ElapsedSec += elapsed
+	}
+
+	haveSuite := false
+	for _, r := range records {
+		if r.Kind == KindSuite {
+			haveSuite = true
+			break
+		}
+	}
+	for _, r := range records {
+		if r.Failed() {
+			continue
+		}
+		g := groupKey{model: r.Model, scenario: r.Scenario, branches: r.Branches}
+		switch {
+		case haveSuite && r.Kind == KindSuite:
+			addCell(g, r.SimBranches, r.ElapsedSec, r.Cells)
+		case !haveSuite && (r.Kind == KindCell || r.Kind == ""):
+			addCell(g, r.SimBranches, r.ElapsedSec, 1)
+		}
+	}
+
+	out := make([]PerfRow, 0, len(order))
+	for _, g := range order {
+		row := *acc[g]
+		if row.ElapsedSec > 0 {
+			row.BranchesPerSec = float64(row.SimBranches) / row.ElapsedSec
+		}
+		out = append(out, row)
+	}
+	return out
+}
+
+// RenderPerf writes the human-readable throughput table.
+func RenderPerf(w io.Writer, rows []PerfRow) {
+	if len(rows) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "simulator throughput:\n")
+	fmt.Fprintf(w, "  %-18s %-8s %10s %6s %12s %10s %12s\n",
+		"model", "scenario", "branches", "cells", "sim-branches", "elapsed", "branches/s")
+	for _, r := range rows {
+		fmt.Fprintf(w, "  %-18s %-8s %10d %6d %12d %9.3fs %12s\n",
+			r.Model, r.Scenario, r.Branches, r.Cells, r.SimBranches,
+			r.ElapsedSec, FormatBranchRate(r.BranchesPerSec))
+	}
+}
+
+// FormatBranchRate renders a branches/sec figure compactly (e.g. "6.4M/s");
+// zero (no timing data) renders as "-".
+func FormatBranchRate(v float64) string {
+	switch {
+	case v <= 0:
+		return "-"
+	case v >= 1e9:
+		return fmt.Sprintf("%.2fG/s", v/1e9)
+	case v >= 1e6:
+		return fmt.Sprintf("%.2fM/s", v/1e6)
+	case v >= 1e3:
+		return fmt.Sprintf("%.2fk/s", v/1e3)
+	default:
+		return fmt.Sprintf("%.0f/s", v)
+	}
+}

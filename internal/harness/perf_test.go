@@ -1,0 +1,116 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// timedCell is cell() with throughput telemetry attached.
+func timedCell(model, trace, scenario string, branches int, mpki, elapsed, bps float64) Record {
+	r := cell(model, trace, scenario, branches, mpki)
+	r.SimBranches = uint64(branches)
+	r.ElapsedSec = elapsed
+	r.BranchesPerSec = bps
+	return r
+}
+
+// TestDiffIgnoresTimingTelemetry is the contract that makes branches/sec
+// safe to store in baselines: two runs that differ only in wall-clock
+// telemetry must diff clean, so timing noise can never fail a CI gate.
+func TestDiffIgnoresTimingTelemetry(t *testing.T) {
+	old := []Record{
+		timedCell("tage", "INT01", "A", 1000, 10.0, 0.5, 2_000_000),
+		timedCell("tage", "INT02", "A", 1000, 12.0, 0.25, 4_000_000),
+	}
+	new := []Record{
+		timedCell("tage", "INT01", "A", 1000, 10.0, 5.0, 200_000), // 10x slower
+		timedCell("tage", "INT02", "A", 1000, 12.0, 0, 0),         // no telemetry at all
+	}
+	rep := Diff(old, new, DiffOptions{})
+	if rep.Cells != 2 {
+		t.Fatalf("compared %d cells, want 2", rep.Cells)
+	}
+	if rep.HasRegressions() || len(rep.Improvements) > 0 {
+		t.Fatalf("timing-only differences must not move the diff: %+v", rep)
+	}
+}
+
+func TestPerfRowsFromSuiteAggregates(t *testing.T) {
+	records := []Record{
+		timedCell("tage", "INT01", "A", 1000, 10.0, 0.5, 2000),
+		timedCell("tage", "INT02", "A", 1000, 12.0, 0.5, 2000),
+		{Kind: KindSuite, Model: "tage", Scenario: "A", Branches: 1000,
+			SimBranches: 2000, ElapsedSec: 1.0, BranchesPerSec: 2000, Cells: 2},
+	}
+	rows := PerfRows(records)
+	if len(rows) != 1 {
+		t.Fatalf("got %d rows, want 1: %+v", len(rows), rows)
+	}
+	r := rows[0]
+	if r.Model != "tage" || r.Scenario != "A" || r.Cells != 2 ||
+		r.SimBranches != 2000 || r.ElapsedSec != 1.0 || r.BranchesPerSec != 2000 {
+		t.Fatalf("row = %+v", r)
+	}
+}
+
+func TestPerfRowsFromBareCells(t *testing.T) {
+	// Without aggregates (bpbench -noaggregates), cells roll up directly.
+	records := []Record{
+		timedCell("tage", "INT01", "A", 1000, 10.0, 0.5, 2000),
+		timedCell("tage", "INT02", "A", 1000, 12.0, 1.5, 667),
+		timedCell("gshare", "INT01", "A", 1000, 20.0, 0.1, 10000),
+	}
+	rows := PerfRows(records)
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows, want 2: %+v", len(rows), rows)
+	}
+	if rows[0].Model != "tage" || rows[0].Cells != 2 || rows[0].SimBranches != 2000 {
+		t.Fatalf("tage row = %+v", rows[0])
+	}
+	if got, want := rows[0].BranchesPerSec, 1000.0; got != want {
+		t.Fatalf("tage branches/sec = %v, want %v (2000 branches / 2s)", got, want)
+	}
+	if rows[1].Model != "gshare" || rows[1].BranchesPerSec != 10000 {
+		t.Fatalf("gshare row = %+v", rows[1])
+	}
+}
+
+func TestRenderPerfAndFormatRate(t *testing.T) {
+	var buf bytes.Buffer
+	RenderPerf(&buf, []PerfRow{{
+		Model: "tage", Scenario: "A", Branches: 1000, Cells: 2,
+		SimBranches: 2000, ElapsedSec: 0.0004, BranchesPerSec: 5_000_000,
+	}})
+	out := buf.String()
+	for _, want := range []string{"simulator throughput", "tage", "5.00M/s"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("perf table missing %q:\n%s", want, out)
+		}
+	}
+	cases := map[float64]string{
+		0:             "-",
+		500:           "500/s",
+		2_500:         "2.50k/s",
+		6_400_000:     "6.40M/s",
+		1_200_000_000: "1.20G/s",
+	}
+	for v, want := range cases {
+		if got := FormatBranchRate(v); got != want {
+			t.Fatalf("FormatBranchRate(%v) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func TestMatrixExpandRejectsNegativePipelineConfig(t *testing.T) {
+	m := testMatrix(t, []Model{{Name: "m", Run: nil}}, []string{"INT01"},
+		nil, []int{1000})
+	m.Window = -1
+	if _, err := m.Expand(); err == nil {
+		t.Fatal("negative Window must be rejected")
+	}
+	m.Window, m.ExecDelay = 0, -2
+	if _, err := m.Expand(); err == nil {
+		t.Fatal("negative ExecDelay must be rejected")
+	}
+}

@@ -44,6 +44,17 @@ type Record struct {
 	MicroOps      uint64  `json:"micro_ops,omitempty"`
 	Misprediction float64 `json:"misprediction_rate,omitempty"`
 
+	// Simulator-throughput telemetry: how many branches were actually
+	// simulated, how long the cell took on the wall clock, and the derived
+	// branches/sec. These track the speed of the simulator itself, never
+	// the predictor's accuracy, and are deliberately ignored by Diff so
+	// timing noise can never fail a baseline comparison. For aggregates,
+	// SimBranches and ElapsedSec are sums over the group's cells and
+	// BranchesPerSec is the group total branches over total time.
+	SimBranches    uint64  `json:"sim_branches,omitempty"`
+	ElapsedSec     float64 `json:"elapsed_sec,omitempty"`
+	BranchesPerSec float64 `json:"branches_per_sec,omitempty"`
+
 	// Cells is the number of cell records an aggregate covers.
 	Cells int `json:"cells,omitempty"`
 	// Err is set (and the metric fields zero) when the job panicked.
@@ -69,20 +80,23 @@ func (r Record) Key() string {
 // cellRecord flattens a simulation result into a cell Record.
 func cellRecord(j Job, res sim.Result) Record {
 	return Record{
-		Kind:          KindCell,
-		Model:         j.Model.Name,
-		Trace:         j.Spec.Name,
-		Category:      j.Spec.Category,
-		Scenario:      j.Scenario.Letter(),
-		Branches:      j.Branches,
-		Seed:          j.Seed,
-		Window:        res.Window,
-		ExecDelay:     res.ExecDelay,
-		MPKI:          res.MPKI,
-		MPPKI:         res.MPPKI,
-		Mispredicts:   res.Mispredicts,
-		MicroOps:      res.MicroOps,
-		Misprediction: res.Misprediction,
+		Kind:           KindCell,
+		Model:          j.Model.Name,
+		Trace:          j.Spec.Name,
+		Category:       j.Spec.Category,
+		Scenario:       j.Scenario.Letter(),
+		Branches:       j.Branches,
+		Seed:           j.Seed,
+		Window:         res.Window,
+		ExecDelay:      res.ExecDelay,
+		MPKI:           res.MPKI,
+		MPPKI:          res.MPPKI,
+		Mispredicts:    res.Mispredicts,
+		MicroOps:       res.MicroOps,
+		Misprediction:  res.Misprediction,
+		SimBranches:    res.Branches,
+		ElapsedSec:     res.Elapsed.Seconds(),
+		BranchesPerSec: res.BranchesPerSec,
 	}
 }
 

@@ -144,6 +144,8 @@ type groupKey struct {
 type accum struct {
 	mpki, mppki float64
 	mispredicts uint64
+	simBranches uint64
+	elapsed     float64
 	cells       int
 }
 
@@ -151,6 +153,8 @@ func (a *accum) add(r Record) {
 	a.mpki += r.MPKI
 	a.mppki += r.MPPKI
 	a.mispredicts += r.Mispredicts
+	a.simBranches += r.SimBranches
+	a.elapsed += r.ElapsedSec
 	a.cells++
 }
 
@@ -164,11 +168,17 @@ func (a *accum) record(kind string, g groupKey, category string) Record {
 		MPKISum:     a.mpki,
 		MPPKISum:    a.mppki,
 		Mispredicts: a.mispredicts,
+		SimBranches: a.simBranches,
+		ElapsedSec:  a.elapsed,
 		Cells:       a.cells,
 	}
 	if a.cells > 0 {
 		r.MPKI = a.mpki / float64(a.cells)
 		r.MPPKI = a.mppki / float64(a.cells)
+	}
+	if a.elapsed > 0 {
+		// Group throughput: total branches over total simulation time.
+		r.BranchesPerSec = float64(a.simBranches) / a.elapsed
 	}
 	return r
 }

@@ -58,7 +58,9 @@ func (s *csvSink) Emit(r Record) error {
 			"kind", "model", "trace", "category", "scenario", "branches",
 			"window", "exec_delay",
 			"mpki", "mppki", "mpki_sum", "mppki_sum", "mispredicts",
-			"misprediction_rate", "cells", "error",
+			"misprediction_rate",
+			"sim_branches", "elapsed_sec", "branches_per_sec",
+			"cells", "error",
 		}); err != nil {
 			return err
 		}
@@ -71,6 +73,8 @@ func (s *csvSink) Emit(r Record) error {
 		formatFloat(r.MPKISum), formatFloat(r.MPPKISum),
 		strconv.FormatUint(r.Mispredicts, 10),
 		formatFloat(r.Misprediction),
+		strconv.FormatUint(r.SimBranches, 10),
+		formatFloat(r.ElapsedSec), formatFloat(r.BranchesPerSec),
 		strconv.Itoa(r.Cells), r.Err,
 	})
 }
@@ -116,8 +120,8 @@ func (s *tableSink) Emit(r Record) error {
 			s.printf("%-10s FAILED: %s\n", r.Trace, r.Err)
 			return s.err
 		}
-		s.printf("%-10s MPKI=%7.3f MPPKI=%8.2f mispredict=%5.2f%%\n",
-			r.Trace, r.MPKI, r.MPPKI, 100*r.Misprediction)
+		s.printf("%-10s MPKI=%7.3f MPPKI=%8.2f mispredict=%5.2f%% %s\n",
+			r.Trace, r.MPKI, r.MPPKI, 100*r.Misprediction, FormatBranchRate(r.BranchesPerSec))
 	case KindCategory:
 		s.printf("  %-8s cat  mean-MPKI=%7.3f sum-MPPKI=%8.2f (%d traces)\n",
 			r.Category, r.MPKI, r.MPPKISum, r.Cells)

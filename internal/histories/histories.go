@@ -78,30 +78,58 @@ func (g *Global) Restore(c Checkpoint) {
 // implementations: after each Push on the underlying history, call Update
 // exactly once.
 //
+// Folded is a plain value type: predictors store their folds in flat
+// []Folded slices so that the per-branch update loop walks contiguous
+// memory instead of chasing one pointer per fold. The zero Folded is an
+// inert placeholder (Length 0, Value 0); construct real folds with
+// NewFolded.
+//
 // Invariant (checked by property tests): Value() equals the XOR over
 // i in [0, Length) of Bit(i) << (i mod Width).
+//
+// The struct is deliberately kept small — 20 bytes, with narrow
+// Width/Length fields — so a predictor's whole fold array stays
+// cache-resident: the per-branch update walks every fold, making their
+// footprint a first-order throughput term.
 type Folded struct {
-	comp     uint32
-	Width    uint // folded width in bits (1..31)
-	Length   int  // history length being folded
-	outpoint uint // Length % Width
+	comp   uint32
+	mask   uint32 // (1 << Width) - 1
+	outBit uint32 // 1 << (Length % Width): where the expiring bit leaves the fold
+	Width  uint8  // folded width in bits (1..31)
+	Length int32  // history length being folded
 }
 
 // NewFolded returns a fold of `length` history bits into `width` bits.
-func NewFolded(length int, width uint) *Folded {
+func NewFolded(length int, width uint) Folded {
 	if width < 1 || width > 31 {
 		panic("histories: folded width out of range")
 	}
-	return &Folded{Width: width, Length: length, outpoint: uint(length) % width}
+	return Folded{
+		Width:  uint8(width),
+		Length: int32(length),
+		outBit: 1 << (uint(length) % width),
+		mask:   uint32(bitutil.Mask(width)),
+	}
 }
 
 // Update incorporates the most recent outcome (which must already have been
 // pushed into g) and expires the bit that left the window.
 func (f *Folded) Update(g *Global) {
-	f.comp = (f.comp << 1) | g.Bit(0)
-	f.comp ^= g.Bit(f.Length) << f.outpoint
-	f.comp ^= f.comp >> f.Width
-	f.comp &= uint32(bitutil.Mask(f.Width))
+	f.UpdateBits(g.Bit(0), g.Bit(int(f.Length)))
+}
+
+// UpdateBits is the hot-path form of Update for callers that already hold
+// the two history bits the fold consumes: newest is the just-pushed outcome
+// (g.Bit(0)) and oldest the bit leaving the window (g.Bit(Length)). Several
+// folds sharing one history length can thus be advanced from a single pair
+// of history reads. The expiring bit lands via the precomputed outBit mask
+// ((-oldest)&outBit == oldest<<outpoint for oldest in {0,1}), leaving one
+// variable shift in the whole update.
+func (f *Folded) UpdateBits(newest, oldest uint32) {
+	c := (f.comp << 1) | newest
+	c ^= (-oldest) & f.outBit
+	c ^= c >> (f.Width & 31) // &31: tells the compiler no shift guard is needed
+	f.comp = c & f.mask
 }
 
 // Value returns the current folded value.
@@ -115,10 +143,88 @@ func (f *Folded) Reset() { f.comp = 0 }
 // Used after history repair and by tests as the ground truth.
 func (f *Folded) Recompute(g *Global) {
 	var v uint32
-	for i := 0; i < f.Length; i++ {
-		v ^= g.Bit(i) << (uint(i) % f.Width)
+	for i := 0; i < int(f.Length); i++ {
+		v ^= g.Bit(i) << (uint(i) % uint(f.Width))
 	}
 	f.comp = v
+}
+
+// TableFolds bundles the three folds a TAGE-style tagged table maintains —
+// index, tag hash 1 and tag hash 2 — which all compress the same history
+// length. Updating them together fetches the shared newest/oldest history
+// bits once per table instead of once per fold, cutting the per-branch
+// history reads of an M-table predictor from 6M to M+1 (the newest bit is
+// shared by every table).
+type TableFolds struct {
+	Idx  Folded
+	Tag1 Folded
+	Tag2 Folded
+}
+
+// NewTableFolds builds the fold triple for one tagged table: history length
+// length folded to idxWidth index bits and tagWidth/tag2Width tag bits.
+func NewTableFolds(length int, idxWidth, tagWidth, tag2Width uint) TableFolds {
+	return TableFolds{
+		Idx:  NewFolded(length, idxWidth),
+		Tag1: NewFolded(length, tagWidth),
+		Tag2: NewFolded(length, tag2Width),
+	}
+}
+
+// oldestBit is Global.Bit with the buffer fields pre-fetched by the
+// caller, shared by the batched updaters so the guard and index logic
+// exist in exactly one place. buf must be g.buf[:mask+1].
+func oldestBit(buf []uint8, head, mask int, n uint64, length int) uint32 {
+	if uint64(length) >= n || length > mask {
+		return 0
+	}
+	return uint32(buf[(head-length)&mask])
+}
+
+// UpdateFolds advances a flat fold array after g.Push(taken): the shared
+// newest bit is the pushed outcome itself (no history read needed) and
+// each fold's expiring bit is read once with the buffer fields hoisted
+// out of the loop. Zero-length (inert) folds are skipped, so GEHL-style
+// predictors can keep an L=0 placeholder in the slice.
+func UpdateFolds(g *Global, folds []Folded, taken bool) {
+	newest := uint32(0)
+	if taken {
+		newest = 1
+	}
+	head, mask, n := g.head, g.mask, g.n
+	buf := g.buf[:mask+1] // len(buf) == mask+1, so (x)&mask is provably in range
+	for i := range folds {
+		f := &folds[i]
+		length := int(f.Length)
+		if length == 0 {
+			continue
+		}
+		f.UpdateBits(newest, oldestBit(buf, head, mask, n, length))
+	}
+}
+
+// UpdateAll advances every fold triple after g.Push(taken): the shared
+// newest bit is the pushed outcome itself (no history read at all) and
+// each triple's expiring bit is read once with the buffer fields hoisted
+// out of the loop. This is the whole per-branch folded-history update of
+// a TAGE-style predictor in one call.
+func UpdateAll(g *Global, folds []TableFolds, taken bool) {
+	newest := uint32(0)
+	if taken {
+		newest = 1
+	}
+	head, mask, n := g.head, g.mask, g.n
+	buf := g.buf[:mask+1] // len(buf) == mask+1, so (x)&mask is provably in range
+	for i := range folds {
+		f := &folds[i]
+		// The three UpdateBits calls are spelled out (rather than routed
+		// through a TableFolds method) so they stay within the compiler's
+		// inlining budget: this loop runs for every table on every branch.
+		oldest := oldestBit(buf, head, mask, n, int(f.Idx.Length))
+		f.Idx.UpdateBits(newest, oldest)
+		f.Tag1.UpdateBits(newest, oldest)
+		f.Tag2.UpdateBits(newest, oldest)
+	}
 }
 
 // Path is a hashed path history: one address bit per branch, as used by

@@ -247,3 +247,73 @@ func BenchmarkFoldedUpdate(b *testing.B) {
 		f.Update(g)
 	}
 }
+
+// TestTableFoldsUpdateAllMatchesPerFoldUpdate: the batched hot-path
+// update (shared newest/oldest bits, hoisted buffer reads) must track the
+// reference per-fold Update exactly, including before the history window
+// fills and after buffer wrap-around.
+func TestTableFoldsUpdateAllMatchesPerFoldUpdate(t *testing.T) {
+	lengths := []int{3, 7, 17, 60, 130, 511}
+	g := NewGlobal(512)
+	gRef := NewGlobal(512)
+	folds := make([]TableFolds, len(lengths))
+	var refs []Folded
+	for i, l := range lengths {
+		folds[i] = NewTableFolds(l, 10, uint(5+i), uint(4+i))
+		refs = append(refs,
+			NewFolded(l, 10), NewFolded(l, uint(5+i)), NewFolded(l, uint(4+i)))
+	}
+	r := rng.NewXoshiro(21)
+	for step := 0; step < 2000; step++ {
+		taken := r.Bool(0.5)
+		g.Push(taken)
+		UpdateAll(g, folds, taken)
+		gRef.Push(taken)
+		for j := range refs {
+			refs[j].Update(gRef)
+		}
+		for i := range folds {
+			got := [3]uint32{folds[i].Idx.Value(), folds[i].Tag1.Value(), folds[i].Tag2.Value()}
+			want := [3]uint32{refs[3*i].Value(), refs[3*i+1].Value(), refs[3*i+2].Value()}
+			if got != want {
+				t.Fatalf("step %d table %d (L=%d): UpdateAll=%v per-fold=%v",
+					step, i, lengths[i], got, want)
+			}
+		}
+	}
+}
+
+// TestUpdateFoldsMatchesPerFoldUpdate: the flat-slice batched update
+// (used by GEHL-style predictors, with inert L=0 placeholders) must
+// track the reference per-fold Update exactly.
+func TestUpdateFoldsMatchesPerFoldUpdate(t *testing.T) {
+	lengths := []int{0, 2, 9, 40, 130} // index 0 is an inert placeholder
+	g := NewGlobal(256)
+	gRef := NewGlobal(256)
+	folds := make([]Folded, len(lengths))
+	refs := make([]Folded, len(lengths))
+	for i, l := range lengths {
+		if l > 0 {
+			folds[i] = NewFolded(l, 11)
+			refs[i] = NewFolded(l, 11)
+		}
+	}
+	r := rng.NewXoshiro(5)
+	for step := 0; step < 1500; step++ {
+		taken := r.Bool(0.5)
+		g.Push(taken)
+		UpdateFolds(g, folds, taken)
+		gRef.Push(taken)
+		for i := range refs {
+			if refs[i].Length > 0 {
+				refs[i].Update(gRef)
+			}
+		}
+		for i := range folds {
+			if folds[i].Value() != refs[i].Value() {
+				t.Fatalf("step %d fold %d (L=%d): batched=%#x per-fold=%#x",
+					step, i, lengths[i], folds[i].Value(), refs[i].Value())
+			}
+		}
+	}
+}

@@ -55,7 +55,7 @@ type Corrector struct {
 	cfg    Config
 	eng    *gehl.Engine
 	ghist  *histories.Global
-	folded []*histories.Folded
+	folded []histories.Folded
 
 	// Reverts counts predictions inverted by the corrector; UsefulReverts
 	// those inversions that were correct.
@@ -97,12 +97,12 @@ func New(cfg Config, stats *memarray.Stats) *Corrector {
 			MinHist:    1, MaxHist: maxLen + 1, // unused by Engine indexing
 		}, cfg.Lengths, stats),
 		ghist:  histories.NewGlobal(maxLen + 8),
-		folded: make([]*histories.Folded, len(cfg.Lengths)),
+		folded: make([]histories.Folded, len(cfg.Lengths)),
 	}
 	for i, l := range cfg.Lengths {
 		if l > 0 {
 			c.folded[i] = histories.NewFolded(l, cfg.LogEntries)
-		}
+		} // length 0: the zero Folded stays inert
 	}
 	c.rthresh = int32(2 * len(cfg.Lengths))
 	return c
@@ -122,11 +122,8 @@ func (c *Corrector) Predict(pc uint64, mainPred bool, tageCtrCentered int32, ctx
 	}
 	var sum int32
 	for i := range c.cfg.Lengths {
-		var f uint32
-		if c.folded[i] != nil {
-			f = c.folded[i].Value()
-		}
-		idx := c.eng.Index(i, pc, f, predBit*0x5bd1e995)
+		// A zero-length fold is inert and reads as 0.
+		idx := c.eng.Index(i, pc, c.folded[i].Value(), predBit*0x5bd1e995)
 		ctr := c.eng.Read(i, idx)
 		ctx.Indices[i] = idx
 		ctx.Ctrs[i] = int8(ctr)
@@ -148,11 +145,7 @@ func (c *Corrector) Predict(pc uint64, mainPred bool, tageCtrCentered int32, ctx
 // OnResolve advances the corrector's speculative global history.
 func (c *Corrector) OnResolve(taken bool) {
 	c.ghist.Push(taken)
-	for _, f := range c.folded {
-		if f != nil {
-			f.Update(c.ghist)
-		}
-	}
+	histories.UpdateFolds(c.ghist, c.folded, taken)
 }
 
 // Retire updates the corrector tables at retire time: counters train

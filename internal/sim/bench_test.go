@@ -1,0 +1,121 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/gshare"
+	"repro/internal/predictor"
+	"repro/internal/rng"
+	"repro/internal/tage"
+	"repro/internal/trace"
+)
+
+// benchTrace builds a deterministic synthetic branch stream: a few hundred
+// static branches mixing history-correlated conditionals, biased branches
+// and loop exits, so the predict/resolve/retire path sees realistic table
+// traffic without depending on the workload package.
+func benchTrace(n int) *trace.Trace {
+	r := rng.NewXoshiro(0xbe9c)
+	tr := &trace.Trace{Name: "bench-synth", Category: "BENCH"}
+	tr.Branches = make([]trace.Branch, 0, n)
+	hist := uint32(0)
+	for i := 0; i < n; i++ {
+		slot := r.Intn(400)
+		pc := uint64(0x40_0000 + slot*4)
+		var taken bool
+		switch slot % 3 {
+		case 0: // history-correlated
+			taken = (hist>>2)&1 == 1
+		case 1: // biased
+			taken = r.Bool(0.85)
+		default: // loop-like: taken except every 7th occurrence
+			taken = i%7 != 0
+		}
+		tr.Branches = append(tr.Branches, trace.Branch{
+			PC: pc, Taken: taken, OpsBefore: uint8(r.Intn(7)),
+		})
+		hist = hist<<1 | uint32(b2i(taken))
+	}
+	return tr
+}
+
+// benchPredictRetire measures the full per-branch hot path — Predict,
+// OnResolve, pipeline bookkeeping, Retire — on a warmed predictor, so
+// ns/op is nanoseconds per branch in steady state.
+func benchPredictRetire[C any](b *testing.B, p predictor.Predictor[C], sc predictor.Scenario) {
+	b.ReportAllocs()
+	tr := benchTrace(100000)
+	opt := Options{Scenario: sc}
+	RunTrace(p, tr, opt) // warm the tables
+	b.ResetTimer()
+	for i := 0; i < b.N; i += len(tr.Branches) {
+		RunTrace(p, tr, opt)
+	}
+}
+
+// BenchmarkPredictRetire tracks simulator branches/sec per model and
+// update scenario; BENCH_baseline.json records the trajectory.
+func BenchmarkPredictRetire(b *testing.B) {
+	b.Run("tage-ref/A", func(b *testing.B) {
+		benchPredictRetire(b, tage.New(tage.Reference()), predictor.ScenarioA)
+	})
+	b.Run("tage-ref/B", func(b *testing.B) {
+		benchPredictRetire(b, tage.New(tage.Reference()), predictor.ScenarioB)
+	})
+	b.Run("gshare/A", func(b *testing.B) {
+		benchPredictRetire(b, gshare.New(18), predictor.ScenarioA)
+	})
+	b.Run("gshare/B", func(b *testing.B) {
+		benchPredictRetire(b, gshare.New(18), predictor.ScenarioB)
+	})
+}
+
+// TestRunZeroAllocSteadyState asserts the zero-allocation contract of the
+// hot path: growing the trace must not grow the allocation count of a
+// sim.Run invocation (i.e. 0 allocs/branch in steady state; the fixed
+// per-run setup — the in-flight ring and retire-time array — is bounded
+// separately).
+func TestRunZeroAllocSteadyState(t *testing.T) {
+	short := benchTrace(2000)
+	long := benchTrace(8000)
+	models := []struct {
+		name  string
+		run   func(tr *trace.Trace, opt Options)
+		scens []predictor.Scenario
+	}{
+		{
+			name: "tage-ref",
+			run: func() func(tr *trace.Trace, opt Options) {
+				p := tage.New(tage.Reference())
+				return func(tr *trace.Trace, opt Options) { RunTrace(p, tr, opt) }
+			}(),
+			scens: []predictor.Scenario{predictor.ScenarioA, predictor.ScenarioB},
+		},
+		{
+			name: "gshare",
+			run: func() func(tr *trace.Trace, opt Options) {
+				p := gshare.New(18)
+				return func(tr *trace.Trace, opt Options) { RunTrace(p, tr, opt) }
+			}(),
+			scens: []predictor.Scenario{predictor.ScenarioA},
+		},
+	}
+	for _, m := range models {
+		for _, sc := range m.scens {
+			opt := Options{Scenario: sc}
+			m.run(long, opt) // warm up (predictor state and any lazy runtime work)
+			allocsShort := testing.AllocsPerRun(10, func() { m.run(short, opt) })
+			allocsLong := testing.AllocsPerRun(10, func() { m.run(long, opt) })
+			if allocsLong != allocsShort {
+				t.Errorf("%s/%s: allocs grow with trace length (%v for 2k branches, %v for 8k): hot path allocates per branch",
+					m.name, sc, allocsShort, allocsLong)
+			}
+			// The fixed per-run overhead must stay small and accounted for:
+			// the ring, the retireAt array, and the retire closure context.
+			if allocsShort > 8 {
+				t.Errorf("%s/%s: %v allocations per run, want <= 8 fixed setup allocations",
+					m.name, sc, allocsShort)
+			}
+		}
+	}
+}

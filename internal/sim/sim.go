@@ -14,7 +14,9 @@ package sim
 
 import (
 	"fmt"
+	"time"
 
+	"repro/internal/bitutil"
 	"repro/internal/memarray"
 	"repro/internal/predictor"
 	"repro/internal/trace"
@@ -40,7 +42,10 @@ type Options struct {
 func (o Options) withDefaults() Options {
 	// Non-positive values select the defaults: a negative window would
 	// corrupt the retire ring, and a negative delay or penalty has no
-	// physical meaning.
+	// physical meaning. The harness layer rejects negative values before
+	// they reach here (harness.Matrix.Expand and the bpbench flags), so
+	// the two layers agree: zero means default, negative is an error at
+	// the declarative boundary and a default here.
 	if o.Window <= 0 {
 		o.Window = 24
 	}
@@ -72,6 +77,12 @@ type Result struct {
 	// without noticing.
 	Window    int
 	ExecDelay int
+	// Elapsed is the wall-clock time the simulation took and
+	// BranchesPerSec the simulator throughput derived from it: telemetry
+	// for tracking the speed of the simulator itself (never an input to
+	// accuracy metrics, and ignored by baseline diffing).
+	Elapsed        time.Duration
+	BranchesPerSec float64
 }
 
 func (r Result) String() string {
@@ -80,15 +91,25 @@ func (r Result) String() string {
 }
 
 type inflight[C any] struct {
-	pc       uint64
-	taken    bool
-	mispred  bool
-	retireAt uint64
-	ctx      C
+	pc      uint64
+	taken   bool
+	mispred bool
+	ctx     C
 }
+
+// decodeBatch is the trace-decode block size: branches are pulled from
+// Batcher sources in blocks of this many so the per-branch interface
+// call amortises away. 256 branches is 4KB of decode buffer — well
+// within L1.
+const decodeBatch = 256
 
 // Run simulates predictor p over the branches of src. The predictor must
 // be freshly constructed (no state reuse across runs).
+//
+// The loop is allocation-free in steady state: the in-flight ring is
+// sized to a power of two (head/tail advance by masking), the scenario
+// dispatch is hoisted out of the retire path, and branches are decoded
+// in blocks when the source supports it.
 func Run[C any](p predictor.Predictor[C], name, category string, src trace.Source, opt Options) Result {
 	opt = opt.withDefaults()
 	stats := p.AccessStats()
@@ -97,92 +118,122 @@ func Run[C any](p predictor.Predictor[C], name, category string, src trace.Sourc
 	if opt.Scenario == predictor.ScenarioI {
 		window = 0
 	}
-	cap := window + 2
-	ring := make([]inflight[C], cap)
+	// The ring needs room for window+1 in-flight branches plus the slot
+	// being inserted; rounding up to a power of two lets the hot path
+	// advance head and tail with a mask instead of %. The forced-retire
+	// threshold stays window+1 regardless of the rounded ring size.
+	ringSize := bitutil.CeilPow2(window + 2)
+	ringMask := ringSize - 1
+	ring := make([]inflight[C], ringSize)
+	// Retire times live in their own small array so the post-misprediction
+	// drain walks a few cache lines instead of striding over the full
+	// (context-carrying) ring entries.
+	retireAt := make([]uint64, ringSize)
 	head, tail := 0, 0 // head = oldest, tail = next insert slot
 	count := 0
 
+	// Scenario dispatch, hoisted out of the per-retire path.
+	rereadAlways := opt.Scenario == predictor.ScenarioI || opt.Scenario == predictor.ScenarioA
+	rereadOnMiss := opt.Scenario == predictor.ScenarioC
+	countRereads := opt.Scenario != predictor.ScenarioI
+
+	// Simulator-owned access counters accumulate in locals and flush into
+	// the shared stats struct once, after the loop (the predictor's own
+	// write accounting still updates stats in place).
 	var (
-		seq        uint64
-		branches   uint64
-		microOps   uint64
-		mispreds   uint64
-		penaltySum float64
+		seq          uint64
+		branches     uint64
+		microOps     uint64
+		mispreds     uint64
+		penaltySum   float64
+		retireReads  uint64
+		writeEvents  uint64
+		retiredCount uint64
 	)
 
 	retireOne := func() {
 		e := &ring[head]
-		reread := false
-		switch opt.Scenario {
-		case predictor.ScenarioI, predictor.ScenarioA:
-			reread = true
-		case predictor.ScenarioB:
-			reread = false
-		case predictor.ScenarioC:
-			reread = e.mispred
-		}
-		if reread && opt.Scenario != predictor.ScenarioI {
-			stats.RetireReads++
+		reread := rereadAlways || (rereadOnMiss && e.mispred)
+		if reread && countRereads {
+			retireReads++
 		}
 		writesBefore := stats.EntryWrites
 		p.Retire(e.pc, e.taken, &e.ctx, reread)
 		if stats.EntryWrites != writesBefore {
-			stats.WriteEvents++
+			writeEvents++
 		}
-		stats.RetiredBranch++
-		head = (head + 1) % cap
+		retiredCount++
+		head = (head + 1) & ringMask
 		count--
 	}
 
+	start := time.Now()
+	batcher, _ := src.(trace.Batcher)
+	var batch [decodeBatch]trace.Branch
 	for {
-		b, ok := src.Next()
-		if !ok {
+		n := 0
+		if batcher != nil {
+			n = batcher.NextBatch(batch[:])
+		} else if b, ok := src.Next(); ok {
+			batch[0] = b
+			n = 1
+		}
+		if n == 0 {
 			break
 		}
-		// Retire branches whose time has come (in order).
-		for count > 0 && ring[head].retireAt <= seq {
-			retireOne()
-		}
-		// Ring must have room: window+2 slots for window in-flight.
-		if count >= cap-1 {
-			retireOne()
-		}
+		for _, b := range batch[:n] {
+			// Retire branches whose time has come (in order).
+			for count > 0 && retireAt[head] <= seq {
+				retireOne()
+			}
+			// The ring must keep room for the incoming branch.
+			if count > window {
+				retireOne()
+			}
 
-		e := &ring[tail]
-		tail = (tail + 1) % cap
-		count++
+			tail0 := tail
+			e := &ring[tail0]
+			tail = (tail0 + 1) & ringMask
+			count++
 
-		e.pc = b.PC
-		e.taken = b.Taken
-		pred := p.Predict(b.PC, &e.ctx)
-		stats.PredictReads++
-		e.mispred = pred != b.Taken
+			e.pc = b.PC
+			e.taken = b.Taken
+			pred := p.Predict(b.PC, &e.ctx)
+			e.mispred = pred != b.Taken
 
-		branches++
-		microOps += uint64(b.OpsBefore) + 1
+			branches++
+			microOps += uint64(b.OpsBefore) + 1
 
-		p.OnResolve(b.PC, b.Taken, e.mispred, &e.ctx)
+			p.OnResolve(b.PC, b.Taken, e.mispred, &e.ctx)
 
-		e.retireAt = seq + uint64(window)
-		if e.mispred {
-			mispreds++
-			stats.Mispredictions++
-			penaltySum += opt.PenaltyBase
-			// Pipeline drain: everything in flight (including this branch)
-			// retires within ExecDelay fetch slots of the resolution.
-			drainAt := seq + uint64(opt.ExecDelay)
-			for i, n := head, count; n > 0; i, n = (i+1)%cap, n-1 {
-				if ring[i].retireAt > drainAt {
-					ring[i].retireAt = drainAt
+			retireAt[tail0] = seq + uint64(window)
+			if e.mispred {
+				mispreds++
+				penaltySum += opt.PenaltyBase
+				// Pipeline drain: everything in flight (including this
+				// branch) retires within ExecDelay fetch slots of the
+				// resolution.
+				drainAt := seq + uint64(opt.ExecDelay)
+				for i, left := head, count; left > 0; i, left = (i+1)&ringMask, left-1 {
+					if retireAt[i] > drainAt {
+						retireAt[i] = drainAt
+					}
 				}
 			}
+			seq++
 		}
-		seq++
 	}
 	// Drain the pipeline at trace end.
 	for count > 0 {
 		retireOne()
 	}
+	elapsed := time.Since(start)
+
+	stats.PredictReads += branches
+	stats.Mispredictions += mispreds
+	stats.RetireReads += retireReads
+	stats.WriteEvents += writeEvents
+	stats.RetiredBranch += retiredCount
 
 	res := Result{
 		Trace:       name,
@@ -195,6 +246,10 @@ func Run[C any](p predictor.Predictor[C], name, category string, src trace.Sourc
 		Access:      *stats,
 		Window:      window,
 		ExecDelay:   opt.ExecDelay,
+		Elapsed:     elapsed,
+	}
+	if secs := elapsed.Seconds(); secs > 0 && branches > 0 {
+		res.BranchesPerSec = float64(branches) / secs
 	}
 	if microOps > 0 {
 		kilo := float64(microOps) / 1000

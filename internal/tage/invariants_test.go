@@ -29,8 +29,8 @@ func TestStateInvariantsUnderRandomTraffic(t *testing.T) {
 			p.OnResolve(pc, taken, pred != taken, &ctx)
 			p.Retire(pc, taken, &ctx, r.Bool(0.5))
 		}
-		for ti := range p.tables {
-			for _, e := range p.tables[ti] {
+		{
+			for _, e := range p.entries {
 				if e.ctr < -4 || e.ctr > 3 {
 					return false
 				}
@@ -116,7 +116,7 @@ func TestScenarioBNeverReadsFreshState(t *testing.T) {
 	p.Predict(pc, &ctx)
 	if ctx.Provider > 0 {
 		// Clobber the provider counter behind the pipeline's back.
-		e := &p.tables[ctx.Provider-1][ctx.Indices[ctx.Provider-1]]
+		e := &p.table(ctx.Provider - 1)[ctx.Indices[ctx.Provider-1]]
 		e.ctr = -4
 		p.OnResolve(pc, true, false, &ctx)
 		p.Retire(pc, true, &ctx, false) // scenario B: uses ctx snapshot (+3 -> stays 3)

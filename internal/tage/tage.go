@@ -160,18 +160,22 @@ type entry struct {
 }
 
 // Predictor is a TAGE predictor.
+//
+// The tagged components live in one contiguous backing slice (entries)
+// with per-table offsets, and each table's three folded histories sit in
+// one flat []TableFolds — the predict/resolve hot loops walk arrays of
+// precomputed constants (index shift, index mask, tag mask) instead of
+// chasing per-table pointers.
 type Predictor struct {
 	cfg     Config
 	bim     *bimodal.Table
-	tables  [][]entry
+	entries []entry     // all tagged tables, contiguous; table i at meta[i].offset
+	meta    []tableMeta // packed per-table hot-path constants
 	lengths []int
 	idxBits []uint // log2 entries (full table)
-	tagMask []uint16
 
 	ghist *histories.Global
-	fIdx  []*histories.Folded
-	fTag1 []*histories.Folded
-	fTag2 []*histories.Folded
+	folds []histories.TableFolds
 
 	useAlt int32  // USE_ALT_ON_NA, 4-bit signed counter
 	tick   uint32 // 8-bit allocation success/failure monitor
@@ -180,6 +184,18 @@ type Predictor struct {
 	stats *memarray.Stats
 	banks *memarray.BankTracker // non-nil when interleaved
 	ium   *ium.Buffer           // non-nil when UseIUM
+}
+
+// tableMeta packs the per-table constants the predict loop consumes —
+// entry-store offset, index hash shift/mask, bank position and tag mask —
+// into 12 bytes, so the whole constant array of a 12-table predictor fits
+// in a little over two cache lines.
+type tableMeta struct {
+	offset    uint32 // start of the table in the contiguous entry store
+	idxMask   uint32 // mask over the folded index bits
+	idxShift  uint8  // PC-hash shift in the index function
+	bankShift uint8  // bit position of the bank id (== index width when not interleaved)
+	tagMask   uint16
 }
 
 // Ctx is the TAGE pipeline context: everything read at prediction time.
@@ -214,33 +230,40 @@ func New(cfg Config) *Predictor {
 	p := &Predictor{
 		cfg:     cfg,
 		bim:     nil,
-		tables:  make([][]entry, m),
+		meta:    make([]tableMeta, m),
 		lengths: histories.GeometricSeries(cfg.MinHist, cfg.MaxHist, m),
 		idxBits: make([]uint, m),
-		tagMask: make([]uint16, m),
 		ghist:   histories.NewGlobal(cfg.MaxHist + 64),
-		fIdx:    make([]*histories.Folded, m),
-		fTag1:   make([]*histories.Folded, m),
-		fTag2:   make([]*histories.Folded, m),
+		folds:   make([]histories.TableFolds, m),
 		rand:    rng.NewXoshiro(cfg.Seed ^ 0x7a6e_0001),
 		stats:   &memarray.Stats{},
 	}
 	p.bim = bimodal.New(cfg.LogBimodal, cfg.LogBimodalHyst, p.stats)
+	total := 0
 	for i := 0; i < m; i++ {
-		p.tables[i] = make([]entry, 1<<cfg.TableLogs[i])
+		total += 1 << cfg.TableLogs[i]
+	}
+	p.entries = make([]entry, total)
+	off := uint32(0)
+	for i := 0; i < m; i++ {
 		p.idxBits[i] = cfg.TableLogs[i]
-		p.tagMask[i] = uint16(bitutil.Mask(cfg.TagBits[i]))
 		idxWidth := cfg.TableLogs[i]
 		if cfg.Interleaved {
 			idxWidth -= 2 // index within a bank; bank supplies the top 2 bits
 		}
-		p.fIdx[i] = histories.NewFolded(p.lengths[i], idxWidth)
-		p.fTag1[i] = histories.NewFolded(p.lengths[i], cfg.TagBits[i])
+		p.meta[i] = tableMeta{
+			offset:    off,
+			idxMask:   uint32(bitutil.Mask(idxWidth)),
+			idxShift:  uint8(uint(i%int(idxWidth)) + 1),
+			bankShift: uint8(idxWidth),
+			tagMask:   uint16(bitutil.Mask(cfg.TagBits[i])),
+		}
+		off += 1 << cfg.TableLogs[i]
 		w2 := cfg.TagBits[i] - 1
 		if w2 < 1 {
 			w2 = 1
 		}
-		p.fTag2[i] = histories.NewFolded(p.lengths[i], w2)
+		p.folds[i] = histories.NewTableFolds(p.lengths[i], idxWidth, cfg.TagBits[i], w2)
 	}
 	if cfg.Interleaved {
 		p.banks = memarray.NewBankTracker()
@@ -249,6 +272,12 @@ func New(cfg Config) *Predictor {
 		p.ium = ium.New(cfg.IUMCapacity, cfg.IUMExecDelay)
 	}
 	return p
+}
+
+// table returns the backing slice of tagged table i (0-based): a view into
+// the contiguous entry store.
+func (p *Predictor) table(i int) []entry {
+	return p.entries[p.meta[i].offset : p.meta[i].offset+1<<p.idxBits[i]]
 }
 
 // Name implements predictor.Predictor.
@@ -262,8 +291,8 @@ func (p *Predictor) Name() string {
 // StorageBits implements predictor.Predictor.
 func (p *Predictor) StorageBits() int {
 	bits := p.bim.StorageBits()
-	for i := range p.tables {
-		bits += len(p.tables[i]) * (CtrBits + 1 + int(p.cfg.TagBits[i]))
+	for i := range p.idxBits {
+		bits += (1 << p.idxBits[i]) * (CtrBits + 1 + int(p.cfg.TagBits[i]))
 	}
 	return bits
 }
@@ -272,53 +301,92 @@ func (p *Predictor) StorageBits() int {
 func (p *Predictor) Lengths() []int { return p.lengths }
 
 // NumTables returns the number of tagged components.
-func (p *Predictor) NumTables() int { return len(p.tables) }
+func (p *Predictor) NumTables() int { return len(p.folds) }
 
 // IUM returns the attached Immediate Update Mimicker, or nil.
 func (p *Predictor) IUM() *ium.Buffer { return p.ium }
 
-// index computes the physical index into tagged table i (0-based) for pc,
-// given the pre-selected bank (ignored unless interleaved).
-func (p *Predictor) index(i int, pc uint64, bank int) uint32 {
-	h := uint32(pc >> 2)
-	bits := p.idxBits[i]
-	if p.cfg.Interleaved {
-		inner := bits - 2
-		idx := (h ^ (h >> (uint(i%int(inner)) + 1)) ^ p.fIdx[i].Value()) & uint32(bitutil.Mask(inner))
-		return uint32(bank)<<inner | idx
-	}
-	return (h ^ (h >> (uint(i%int(bits)) + 1)) ^ p.fIdx[i].Value()) & uint32(bitutil.Mask(bits))
-}
-
-// tag computes the partial tag for tagged table i.
-func (p *Predictor) tag(i int, pc uint64) uint16 {
-	h := uint32(pc >> 2)
-	return uint16(h^p.fTag1[i].Value()^(p.fTag2[i].Value()<<1)) & p.tagMask[i]
-}
-
 // Predict implements predictor.Predictor.
 func (p *Predictor) Predict(pc uint64, ctx *Ctx) bool {
-	m := len(p.tables)
-	bank := 0
+	bank := uint32(0)
 	if p.banks != nil {
-		bank = p.banks.Select(pc)
-		ctx.BimIdx = p.bim.IndexBanked(pc, bank, memarray.NumBanks)
+		b := p.banks.Select(pc)
+		ctx.BimIdx = p.bim.IndexBanked(pc, b, memarray.NumBanks)
+		bank = uint32(b)
 	} else {
 		ctx.BimIdx = p.bim.Index(pc)
 	}
 	ctx.BimCtr = p.bim.Read(ctx.BimIdx)
 
-	for i := 0; i < m; i++ {
-		idx := p.index(i, pc, bank)
-		tg := p.tag(i, pc)
-		e := &p.tables[i][idx]
-		ctx.Indices[i] = idx
-		ctx.Tags[i] = tg
-		ctx.Ctrs[i] = e.ctr
-		ctx.Us[i] = e.u
-		ctx.Hit[i] = e.tag == tg
+	// The index, tag, entry read and provider selection of every tagged
+	// component, fully inlined: one ascending pass over the flat fold and
+	// constant arrays. The highest-numbered hit becomes the provider, the
+	// previous best the alternate — the same pair the descending scan of
+	// Section 3.1 selects. Clamping to MaxTables (guaranteed by config
+	// validation) lets the compiler drop the bounds checks on the
+	// fixed-size ctx arrays.
+	folds := p.folds
+	if len(folds) > MaxTables {
+		folds = folds[:MaxTables]
 	}
-	p.selectProviders(ctx)
+	meta := p.meta[:len(folds)]
+	entries := p.entries
+	provider, alt := 0, 0
+	h := uint32(pc >> 2)
+	if bank == 0 {
+		// Common case (non-interleaved, or bank 0): the bank term is zero,
+		// so its variable shift drops out of the loop entirely.
+		for i := range folds {
+			f := &folds[i]
+			mt := &meta[i]
+			idx := (h ^ (h >> (mt.idxShift & 31)) ^ f.Idx.Value()) & mt.idxMask
+			tg := uint16(h^f.Tag1.Value()^(f.Tag2.Value()<<1)) & mt.tagMask
+			e := entries[mt.offset+idx]
+			ctx.Indices[i] = idx
+			ctx.Tags[i] = tg
+			ctx.Ctrs[i] = e.ctr
+			ctx.Us[i] = e.u
+			hit := e.tag == tg
+			ctx.Hit[i] = hit
+			if hit {
+				alt = provider
+				provider = i + 1
+			}
+		}
+	} else {
+		for i := range folds {
+			f := &folds[i]
+			mt := &meta[i]
+			idx := (h^(h>>(mt.idxShift&31))^f.Idx.Value())&mt.idxMask | bank<<(mt.bankShift&31)
+			tg := uint16(h^f.Tag1.Value()^(f.Tag2.Value()<<1)) & mt.tagMask
+			e := entries[mt.offset+idx]
+			ctx.Indices[i] = idx
+			ctx.Tags[i] = tg
+			ctx.Ctrs[i] = e.ctr
+			ctx.Us[i] = e.u
+			hit := e.tag == tg
+			ctx.Hit[i] = hit
+			if hit {
+				alt = provider
+				provider = i + 1
+			}
+		}
+	}
+	ctx.Provider, ctx.Alt = provider, alt
+	bimPred := bimodal.Taken(ctx.BimCtr)
+	if provider > 0 {
+		c := int32(ctx.Ctrs[provider-1])
+		ctx.ProvPred = bitutil.TakenSign(c)
+		ctx.WeakProv = bitutil.IsWeak(c)
+	} else {
+		ctx.ProvPred = bimPred
+		ctx.WeakProv = false
+	}
+	if alt > 0 {
+		ctx.AltPred = bitutil.TakenSign(int32(ctx.Ctrs[alt-1]))
+	} else {
+		ctx.AltPred = bimPred
+	}
 	ctx.TagePred = p.computePrediction(ctx)
 
 	ctx.FinalPred = ctx.TagePred
@@ -353,38 +421,6 @@ func providerSignedCtr(ctx *Ctx) (int32, uint) {
 	return ctx.BimCtr - 2, 2
 }
 
-// selectProviders fills Provider/Alt/ProvPred/AltPred/WeakProv from the
-// per-table hit data recorded in ctx.
-func (p *Predictor) selectProviders(ctx *Ctx) {
-	m := len(p.tables)
-	ctx.Provider, ctx.Alt = 0, 0
-	for i := m - 1; i >= 0; i-- {
-		if !ctx.Hit[i] {
-			continue
-		}
-		if ctx.Provider == 0 {
-			ctx.Provider = i + 1
-		} else {
-			ctx.Alt = i + 1
-			break
-		}
-	}
-	bimPred := bimodal.Taken(ctx.BimCtr)
-	if ctx.Provider > 0 {
-		c := int32(ctx.Ctrs[ctx.Provider-1])
-		ctx.ProvPred = bitutil.TakenSign(c)
-		ctx.WeakProv = bitutil.IsWeak(c)
-	} else {
-		ctx.ProvPred = bimPred
-		ctx.WeakProv = false
-	}
-	if ctx.Alt > 0 {
-		ctx.AltPred = bitutil.TakenSign(int32(ctx.Ctrs[ctx.Alt-1]))
-	} else {
-		ctx.AltPred = bimPred
-	}
-}
-
 // computePrediction applies the Section 3.1 algorithm: the provider's sign
 // unless the provider counter is weak and USE_ALT_ON_NA is non-negative,
 // in which case the alternate prediction is used.
@@ -413,11 +449,10 @@ func (p *Predictor) OnResolve(pc uint64, taken, mispredicted bool, ctx *Ctx) {
 		}
 	}
 	p.ghist.Push(taken)
-	for i := range p.fIdx {
-		p.fIdx[i].Update(p.ghist)
-		p.fTag1[i].Update(p.ghist)
-		p.fTag2[i].Update(p.ghist)
-	}
+	// Combined fold update: the newest bit is the outcome just pushed, so
+	// the only per-table history read is the bit expiring from its window
+	// — M history reads instead of 6M.
+	histories.UpdateAll(p.ghist, p.folds, taken)
 }
 
 // Retire implements predictor.Predictor: the Section 3.2 update, performed
@@ -426,15 +461,22 @@ func (p *Predictor) OnResolve(pc uint64, taken, mispredicted bool, ctx *Ctx) {
 // prediction time are used and written back blindly (scenario [B]), which
 // models the stale-value clobbering of a real fetch-read-only pipeline.
 func (p *Predictor) Retire(pc uint64, taken bool, ctx *Ctx, reread bool) {
-	if p.ium != nil {
-		defer p.ium.PopOldest()
-	}
-
 	provider, alt := ctx.Provider, ctx.Alt
 	provPred, altPred, weak := ctx.ProvPred, ctx.AltPred, ctx.WeakProv
 	bimCtr := ctx.BimCtr
-	readCtr := func(t int) int32 { return int32(ctx.Ctrs[t-1]) }
-	readU := func(t int) uint8 { return ctx.Us[t-1] }
+	// The provider/alternate counters the update consumes, passed by value
+	// (the retire path allocates nothing: no read closures, no defer).
+	var provCtr, altCtr int32
+	if provider > 0 {
+		provCtr = int32(ctx.Ctrs[provider-1])
+	}
+	if alt > 0 {
+		altCtr = int32(ctx.Ctrs[alt-1])
+	}
+
+	// Entry pointers for the provider and alternate: resolved once and
+	// reused by both the read and the write halves of the update.
+	var provE, altE *entry
 
 	if reread {
 		// Recompute the whole read from current table state at the same
@@ -442,34 +484,45 @@ func (p *Predictor) Retire(pc uint64, taken bool, ctx *Ctx, reread bool) {
 		// fetch-time history, so indices and tags are unchanged).
 		bimCtr = p.bim.Read(ctx.BimIdx)
 		provider, alt = 0, 0
-		m := len(p.tables)
+		m := len(p.folds)
+		if m > MaxTables {
+			m = MaxTables // never taken; lets the compiler drop ctx bounds checks
+		}
 		for i := m - 1; i >= 0; i-- {
-			e := &p.tables[i][ctx.Indices[i]]
+			e := &p.entries[p.meta[i].offset+ctx.Indices[i]]
 			if e.tag != ctx.Tags[i] {
 				continue
 			}
 			if provider == 0 {
 				provider = i + 1
+				provE = e
 			} else {
 				alt = i + 1
+				altE = e
 				break
 			}
 		}
 		bimPred := bimodal.Taken(bimCtr)
-		readCtr = func(t int) int32 { return int32(p.tables[t-1][ctx.Indices[t-1]].ctr) }
-		readU = func(t int) uint8 { return p.tables[t-1][ctx.Indices[t-1]].u }
 		if provider > 0 {
-			c := readCtr(provider)
-			provPred = bitutil.TakenSign(c)
-			weak = bitutil.IsWeak(c)
+			provCtr = int32(provE.ctr)
+			provPred = bitutil.TakenSign(provCtr)
+			weak = bitutil.IsWeak(provCtr)
 		} else {
 			provPred = bimPred
 			weak = false
 		}
 		if alt > 0 {
-			altPred = bitutil.TakenSign(readCtr(alt))
+			altCtr = int32(altE.ctr)
+			altPred = bitutil.TakenSign(altCtr)
 		} else {
 			altPred = bimPred
+		}
+	} else {
+		if provider > 0 {
+			provE = &p.entries[p.meta[provider-1].offset+ctx.Indices[provider-1]]
+		}
+		if alt > 0 {
+			altE = &p.entries[p.meta[alt-1].offset+ctx.Indices[alt-1]]
 		}
 	}
 
@@ -479,10 +532,10 @@ func (p *Predictor) Retire(pc uint64, taken bool, ctx *Ctx, reread bool) {
 	// provider is weak also train the alternate (helps newly allocated
 	// entries hand over cleanly).
 	if provider > 0 {
-		p.writeCtr(provider, ctx.Indices[provider-1], bitutil.SatUpdateSigned(readCtr(provider), taken, CtrBits))
+		p.writeCtr(provE, bitutil.SatUpdateSigned(provCtr, taken, CtrBits))
 		if weak {
 			if alt > 0 {
-				p.writeCtr(alt, ctx.Indices[alt-1], bitutil.SatUpdateSigned(readCtr(alt), taken, CtrBits))
+				p.writeCtr(altE, bitutil.SatUpdateSigned(altCtr, taken, CtrBits))
 			} else {
 				p.bim.Write(ctx.BimIdx, bimodal.Next(bimCtr, taken))
 			}
@@ -499,7 +552,7 @@ func (p *Predictor) Retire(pc uint64, taken bool, ctx *Ctx, reread bool) {
 		// u is set when the provider was correct and the alternate was
 		// wrong (Section 3.2.2).
 		if provPred != altPred && provPred == taken {
-			p.writeU(provider, ctx.Indices[provider-1], 1)
+			p.writeU(provE, 1)
 		}
 	} else {
 		p.bim.Write(ctx.BimIdx, bimodal.Next(bimCtr, taken))
@@ -508,14 +561,17 @@ func (p *Predictor) Retire(pc uint64, taken bool, ctx *Ctx, reread bool) {
 	// (2) Allocate new entries on a misprediction (Section 3.2.1): up to
 	// MaxAlloc entries on non-consecutive tables above the provider,
 	// chosen among useless (u == 0) entries.
-	if mispredicted && provider < len(p.tables) {
-		p.allocate(ctx, provider, taken, readU)
+	if mispredicted && provider < len(p.folds) {
+		p.allocate(ctx, provider, taken, reread)
+	}
+
+	if p.ium != nil {
+		p.ium.PopOldest()
 	}
 }
 
 // writeCtr writes a tagged-entry counter with silent-write elimination.
-func (p *Predictor) writeCtr(table int, idx uint32, v int32) {
-	e := &p.tables[table-1][idx]
+func (p *Predictor) writeCtr(e *entry, v int32) {
 	if e.ctr != int8(v) {
 		e.ctr = int8(v)
 		p.stats.RecordWrite(true)
@@ -525,8 +581,7 @@ func (p *Predictor) writeCtr(table int, idx uint32, v int32) {
 }
 
 // writeU writes a tagged-entry useful bit with silent-write elimination.
-func (p *Predictor) writeU(table int, idx uint32, v uint8) {
-	e := &p.tables[table-1][idx]
+func (p *Predictor) writeU(e *entry, v uint8) {
 	if e.u != v {
 		e.u = v
 		p.stats.RecordWrite(true)
@@ -536,9 +591,11 @@ func (p *Predictor) writeU(table int, idx uint32, v uint8) {
 }
 
 // allocate implements the multi-entry allocation policy with the 8-bit
-// success/failure monitor driving global u-bit resets.
-func (p *Predictor) allocate(ctx *Ctx, provider int, taken bool, readU func(int) uint8) {
-	m := len(p.tables)
+// success/failure monitor driving global u-bit resets. With reread the
+// u bits are consulted from current table state, otherwise from the
+// fetch-time snapshot in ctx (mirroring the Retire read policy).
+func (p *Predictor) allocate(ctx *Ctx, provider int, taken bool, reread bool) {
+	m := len(p.folds)
 	start := provider + 1
 	// Randomise the starting table by one position to avoid systematically
 	// starving longer-history tables.
@@ -547,9 +604,12 @@ func (p *Predictor) allocate(ctx *Ctx, provider int, taken bool, readU func(int)
 	}
 	allocated := 0
 	for t := start; t <= m && allocated < p.cfg.MaxAlloc; {
-		if readU(t) == 0 {
-			idx := ctx.Indices[t-1]
-			e := &p.tables[t-1][idx]
+		u := ctx.Us[t-1]
+		if reread {
+			u = p.entries[p.meta[t-1].offset+ctx.Indices[t-1]].u
+		}
+		if u == 0 {
+			e := &p.entries[p.meta[t-1].offset+ctx.Indices[t-1]]
 			e.tag = ctx.Tags[t-1]
 			e.ctr = int8(bitutil.WeakTaken)
 			if !taken {
@@ -565,12 +625,11 @@ func (p *Predictor) allocate(ctx *Ctx, provider int, taken bool, readU func(int)
 			t++
 		}
 	}
-	// Global reset when failures dominate (counter saturated high).
+	// Global reset when failures dominate (counter saturated high): one
+	// pass over the contiguous entry store.
 	if p.tick >= 255 {
-		for i := range p.tables {
-			for j := range p.tables[i] {
-				p.tables[i][j].u = 0
-			}
+		for i := range p.entries {
+			p.entries[i].u = 0
 		}
 		p.tick = 0
 	}
@@ -583,8 +642,8 @@ func (p *Predictor) AccessStats() *memarray.Stats { return p.stats }
 // each tagged table), for the area/energy model.
 func (p *Predictor) TableBits() []int {
 	out := []int{p.bim.StorageBits()}
-	for i := range p.tables {
-		out = append(out, len(p.tables[i])*(CtrBits+1+int(p.cfg.TagBits[i])))
+	for i := range p.idxBits {
+		out = append(out, (1<<p.idxBits[i])*(CtrBits+1+int(p.cfg.TagBits[i])))
 	}
 	return out
 }

@@ -162,11 +162,9 @@ func TestAllocationOnlyOnMisprediction(t *testing.T) {
 	p.OnResolve(pc, true, true, &ctx)
 	p.Retire(pc, true, &ctx, true)
 	allocs := 0
-	for i := range p.tables {
-		for j := range p.tables[i] {
-			if p.tables[i][j].tag != 0 || p.tables[i][j].ctr != 0 {
-				allocs++
-			}
+	for _, e := range p.entries {
+		if e.tag != 0 || e.ctr != 0 {
+			allocs++
 		}
 	}
 	if allocs == 0 {
@@ -185,8 +183,8 @@ func TestNonConsecutiveAllocation(t *testing.T) {
 	p.OnResolve(pc, true, true, &ctx)
 	p.Retire(pc, true, &ctx, true)
 	var allocTables []int
-	for i := range p.tables {
-		if p.tables[i][ctx.Indices[i]].tag == ctx.Tags[i] && ctx.Tags[i] != 0 {
+	for i := 0; i < p.NumTables(); i++ {
+		if p.table(i)[ctx.Indices[i]].tag == ctx.Tags[i] && ctx.Tags[i] != 0 {
 			allocTables = append(allocTables, i)
 		}
 	}
@@ -200,10 +198,8 @@ func TestNonConsecutiveAllocation(t *testing.T) {
 func TestUBitGlobalReset(t *testing.T) {
 	p := New(smallConfig())
 	// Force all u bits set and the tick counter to the brink.
-	for i := range p.tables {
-		for j := range p.tables[i] {
-			p.tables[i][j].u = 1
-		}
+	for i := range p.entries {
+		p.entries[i].u = 1
 	}
 	p.tick = 254
 	var ctx Ctx
@@ -212,11 +208,9 @@ func TestUBitGlobalReset(t *testing.T) {
 	p.OnResolve(pc, true, true, &ctx)
 	p.Retire(pc, true, &ctx, true) // misprediction -> failed allocations -> tick saturates
 	clear := true
-	for i := range p.tables {
-		for j := range p.tables[i] {
-			if p.tables[i][j].u != 0 {
-				clear = false
-			}
+	for _, e := range p.entries {
+		if e.u != 0 {
+			clear = false
 		}
 	}
 	if !clear {
@@ -263,8 +257,8 @@ func TestInterleavedIndicesInRange(t *testing.T) {
 	for i := 0; i < 5000; i++ {
 		pc := uint64(r.Uint32())
 		p.Predict(pc, &ctx)
-		for ti := range p.tables {
-			if int(ctx.Indices[ti]) >= len(p.tables[ti]) {
+		for ti := 0; ti < p.NumTables(); ti++ {
+			if int(ctx.Indices[ti]) >= len(p.table(ti)) {
 				t.Fatalf("index out of range: table %d idx %d", ti, ctx.Indices[ti])
 			}
 		}

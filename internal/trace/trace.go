@@ -32,6 +32,15 @@ type Source interface {
 	Next() (Branch, bool)
 }
 
+// Batcher is an optional Source extension for block decoding: NextBatch
+// fills dst with up to len(dst) branches and returns how many were
+// written (0 at end of trace). The simulator prefers it when available,
+// amortising the per-branch interface call of Next over a whole decode
+// block.
+type Batcher interface {
+	NextBatch(dst []Branch) int
+}
+
 // Trace is a fully materialised branch trace.
 type Trace struct {
 	// Name identifies the benchmark (e.g. "INT01").
@@ -66,6 +75,14 @@ func (s *sliceSource) Next() (Branch, bool) {
 	b := s.t.Branches[s.i]
 	s.i++
 	return b, true
+}
+
+// NextBatch implements Batcher: one bulk copy out of the materialised
+// slice per decode block.
+func (s *sliceSource) NextBatch(dst []Branch) int {
+	n := copy(dst, s.t.Branches[s.i:])
+	s.i += n
+	return n
 }
 
 // Collect materialises up to limit branches from a source (limit <= 0 means

@@ -169,3 +169,56 @@ func TestSummarizeEmpty(t *testing.T) {
 		t.Fatalf("empty stats = %+v", s)
 	}
 }
+
+// TestNextBatchMatchesNext: block decoding must yield exactly the branch
+// stream Next yields, across batch sizes that divide the trace evenly,
+// leave a remainder, or exceed it.
+func TestNextBatchMatchesNext(t *testing.T) {
+	r := rng.NewXoshiro(7)
+	tr := &Trace{Name: "b", Category: "T"}
+	for i := 0; i < 1000; i++ {
+		tr.Branches = append(tr.Branches, Branch{
+			PC: uint64(r.Uint32()), Taken: r.Bool(0.5), OpsBefore: uint8(r.Intn(9)),
+		})
+	}
+	var viaNext []Branch
+	src := tr.Reader()
+	for {
+		b, ok := src.Next()
+		if !ok {
+			break
+		}
+		viaNext = append(viaNext, b)
+	}
+	for _, batchSize := range []int{1, 7, 250, 1000, 4096} {
+		var got []Branch
+		batcher := tr.Reader().(Batcher)
+		buf := make([]Branch, batchSize)
+		for {
+			n := batcher.NextBatch(buf)
+			if n == 0 {
+				break
+			}
+			got = append(got, buf[:n]...)
+		}
+		if !reflect.DeepEqual(got, viaNext) {
+			t.Fatalf("batch size %d: stream differs from Next", batchSize)
+		}
+	}
+}
+
+// TestNextBatchAfterNext: mixing the two APIs keeps a single cursor.
+func TestNextBatchAfterNext(t *testing.T) {
+	tr := &Trace{Branches: []Branch{{PC: 1}, {PC: 2}, {PC: 3}}}
+	src := tr.Reader()
+	if b, ok := src.Next(); !ok || b.PC != 1 {
+		t.Fatalf("Next = %+v, %v", b, ok)
+	}
+	buf := make([]Branch, 8)
+	if n := src.(Batcher).NextBatch(buf); n != 2 || buf[0].PC != 2 || buf[1].PC != 3 {
+		t.Fatalf("NextBatch = %d, %+v", n, buf[:n])
+	}
+	if n := src.(Batcher).NextBatch(buf); n != 0 {
+		t.Fatalf("exhausted NextBatch = %d, want 0", n)
+	}
+}
