@@ -33,6 +33,10 @@ type (
 	BenchDiffReport = harness.DiffReport
 	// BenchPerfRow is one line of the simulator-throughput summary.
 	BenchPerfRow = harness.PerfRow
+	// BenchJob is one expanded cell of a matrix.
+	BenchJob = harness.Job
+	// BenchResumePlan partitions an expanded grid against a prior store.
+	BenchResumePlan = harness.ResumePlan
 )
 
 // ParseScenario maps a scenario flag value ("I", "A", "B", "C", case
@@ -75,8 +79,31 @@ func ModelNames() []string {
 	return names
 }
 
+// ScalableModels maps the model identifiers that support storage-budget
+// scaling (the -delta axis) to their scaled constructors; deltaLog 0 is
+// each model's declared budget.
+func ScalableModels() map[string]func(deltaLog int) *Model {
+	return map[string]func(int) *Model{
+		"tage":     ScaledTAGE,
+		"tage-lsc": ScaledTAGELSC,
+	}
+}
+
+// ScalableModelNames lists the identifiers usable with a deltaLog axis,
+// sorted.
+func ScalableModelNames() []string {
+	var names []string
+	for name := range ScalableModels() {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
 // BenchModels resolves model identifiers to harness models. Each cell
 // executed for the model constructs a fresh predictor (cold state).
+// Models with a scaled constructor (see ScalableModels) carry the Scale
+// hook the harness's deltaLog axis expands through.
 func BenchModels(names []string) ([]BenchModel, error) {
 	out := make([]BenchModel, 0, len(names))
 	for _, name := range names {
@@ -84,11 +111,18 @@ func BenchModels(names []string) ([]BenchModel, error) {
 		if err != nil {
 			return nil, err
 		}
-		out = append(out, BenchModel{
+		bm := BenchModel{
 			Name:        name,
 			StorageBits: m.StorageBits(),
 			Run:         m.Run,
-		})
+		}
+		if mkScaled, ok := ScalableModels()[name]; ok {
+			bm.Scale = func(deltaLog int) BenchModel {
+				sm := mkScaled(deltaLog)
+				return BenchModel{StorageBits: sm.StorageBits(), Run: sm.Run}
+			}
+		}
+		out = append(out, bm)
 	}
 	return out, nil
 }
@@ -126,9 +160,43 @@ func RunBench(m *BenchMatrix, cfg BenchConfig, sink BenchSink) (*BenchSummary, e
 	return harness.Run(m, cfg, sink)
 }
 
+// ExpandBench materialises the matrix into its job list (the resume path
+// plans against this expansion before running).
+func ExpandBench(m *BenchMatrix) ([]BenchJob, error) {
+	return m.Expand()
+}
+
+// PlanBenchResume partitions an expanded grid against the records of a
+// prior store: cells with a successful prior record are reused, the rest
+// (missing or failed) are queued to run.
+func PlanBenchResume(jobs []BenchJob, prior []BenchRecord) *BenchResumePlan {
+	return harness.PlanResume(jobs, prior)
+}
+
+// RunBenchResume executes a resume plan, streaming only the records the
+// store is missing (new cells in expansion order, then aggregates over
+// the merged run) — the append half of the resumable result store.
+func RunBenchResume(plan *BenchResumePlan, cfg BenchConfig, sink BenchSink) (*BenchSummary, error) {
+	return harness.RunResume(plan, cfg, sink)
+}
+
 // ReadBenchRecords parses a JSONL record stream (a saved bench run).
 func ReadBenchRecords(r io.Reader) ([]BenchRecord, error) {
 	return harness.ReadRecords(r)
+}
+
+// ReadBenchRecordsFile reads a saved JSONL run (a baseline or an
+// append-only result store) from disk.
+func ReadBenchRecordsFile(path string) ([]BenchRecord, error) {
+	return harness.ReadRecordsFile(path)
+}
+
+// ReadBenchStoreFile reads a resume store, tolerating a crash tail (a
+// truncated final line from an interrupted run): it returns the parsed
+// records and the byte length of the valid prefix the caller should
+// truncate to before appending.
+func ReadBenchStoreFile(path string) ([]BenchRecord, int64, error) {
+	return harness.ReadStoreFile(path)
 }
 
 // BenchDiff compares a fresh run against a baseline, cell by cell on

@@ -54,6 +54,49 @@ func TestBenchModelsResolveAndReject(t *testing.T) {
 	}
 }
 
+func TestScaledModelNameFormatting(t *testing.T) {
+	// ScaledTAGE's deltaLog suffix is the Figure 9 label users see in
+	// tables and stores; pin the format.
+	for _, tc := range []struct {
+		d    int
+		want string
+	}{{-4, "TAGE-ref-4"}, {0, "TAGE-ref+0"}, {3, "TAGE-ref+3"}} {
+		if got := ScaledTAGE(tc.d).Name(); got != tc.want {
+			t.Errorf("ScaledTAGE(%d).Name() = %q, want %q", tc.d, got, tc.want)
+		}
+	}
+	if got := ScaledTAGELSC(-2).Name(); got != "TAGE-LSC-2" {
+		t.Errorf("ScaledTAGELSC(-2).Name() = %q", got)
+	}
+	// deltaLog 0 keeps each model's declared budget.
+	if a, b := ScaledTAGE(0).StorageBits(), ReferenceTAGE().StorageBits(); a != b {
+		t.Errorf("ScaledTAGE(0) budget %d != reference %d", a, b)
+	}
+}
+
+func TestBenchModelsScaleHook(t *testing.T) {
+	ms, err := BenchModels([]string{"tage", "tage-lsc", "gshare"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range ms {
+		_, scalable := ScalableModels()[m.Name]
+		if (m.Scale != nil) != scalable {
+			t.Errorf("%s: Scale hook presence %v, want %v", m.Name, m.Scale != nil, scalable)
+		}
+	}
+	// The hook scales real budgets: +1 doubles (within rounding), -1 halves.
+	tage := ms[0]
+	up, down := tage.Scale(1), tage.Scale(-1)
+	if up.StorageBits <= tage.StorageBits || down.StorageBits >= tage.StorageBits {
+		t.Errorf("budgets not ordered: -1:%d 0:%d +1:%d",
+			down.StorageBits, tage.StorageBits, up.StorageBits)
+	}
+	if up.Run == nil || down.Run == nil {
+		t.Error("scaled models must be runnable")
+	}
+}
+
 func TestModelNamesSortedAndComplete(t *testing.T) {
 	names := ModelNames()
 	if len(names) != len(Models()) {

@@ -5,9 +5,17 @@
 //
 //	bpbench -models tage,gshare -scenarios A,C -traces 'INT*' -format jsonl
 //	bpbench -models tage -scenarios I,A,B,C -branches 200000,1000000
+//	bpbench -models tage -delta -4:3 -resume fig9.jsonl   # Figure 9 sweep
 //	bpbench -models tage -perf   # branches/sec table on stderr
 //	bpbench diff old.jsonl new.jsonl -tolerance 0.05
 //	bpbench -list
+//
+// -delta makes storage budget a matrix axis: each (scalable) model is
+// swept across 2^deltaLog budgets, one cell per budget. -resume treats a
+// JSONL file as an append-only result store: cells already present (with
+// no error) are skipped, failed and missing cells run, and only the new
+// records are appended — an interrupted sweep continues instead of
+// restarting, and re-running a completed sweep executes nothing.
 //
 // In diff mode the exit status is non-zero when any cell's MPKI
 // regressed beyond the tolerance (or a cell newly fails), making bpbench
@@ -41,6 +49,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		scenarios = fs.String("scenarios", "A", "comma-separated update scenarii: I, A, B, C")
 		traces    = fs.String("traces", "", "comma-separated trace-name globs, e.g. 'INT*,MM05' (default: all 40)")
 		branches  = fs.String("branches", "200000", "comma-separated branches-per-trace lengths")
+		delta     = fs.String("delta", "", "storage-budget axis: deltaLog range 'lo:hi' (inclusive) or comma list, e.g. '-4:3' (scalable models only)")
+		resume    = fs.String("resume", "", "append-only JSONL result store: skip cells already present, append only the missing ones")
 		include   = fs.String("include", "", "comma-separated cell globs to keep (model/trace/scenario/branches)")
 		exclude   = fs.String("exclude", "", "comma-separated cell globs to drop")
 		format    = fs.String("format", "table", "output format: table, jsonl or csv")
@@ -62,6 +72,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if *list {
 		fmt.Fprintln(stdout, "models: ", strings.Join(repro.ModelNames(), " "))
+		fmt.Fprintln(stdout, "scalable (-delta): ", strings.Join(repro.ScalableModelNames(), " "))
 		fmt.Fprintln(stdout, "traces: ", strings.Join(repro.TraceNames(), " "))
 		return 0
 	}
@@ -75,6 +86,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "bpbench:", err)
 		return 2
 	}
+	deltas, err := parseDeltas(*delta)
+	if err != nil {
+		fmt.Fprintln(stderr, "bpbench:", err)
+		return 2
+	}
 	m, err := repro.NewBenchMatrix(splitList(*models), splitList(*traces), *scenarios, lengths)
 	if err != nil {
 		fmt.Fprintln(stderr, "bpbench:", err)
@@ -84,6 +100,21 @@ func run(args []string, stdout, stderr io.Writer) int {
 	m.Exclude = splitList(*exclude)
 	m.Window = *window
 	m.ExecDelay = *execDelay
+	m.DeltaLogs = deltas
+
+	cfg := repro.BenchConfig{Parallelism: *parallel, NoTraceCache: *noCache, NoAggregates: *noAgg}
+	if *resume != "" {
+		// The store is the output: format and destination are fixed.
+		if *outPath != "" {
+			fmt.Fprintln(stderr, "bpbench: -resume writes to the store file; drop -o")
+			return 2
+		}
+		if *format != "table" && *format != "jsonl" {
+			fmt.Fprintln(stderr, "bpbench: -resume stores records as jsonl; drop -format")
+			return 2
+		}
+		return runResume(m, cfg, *resume, *perf, stderr)
+	}
 
 	out := stdout
 	if *outPath != "" {
@@ -101,7 +132,6 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	cfg := repro.BenchConfig{Parallelism: *parallel, NoTraceCache: *noCache, NoAggregates: *noAgg}
 	sum, err := repro.RunBench(m, cfg, sink)
 	if err != nil {
 		fmt.Fprintln(stderr, "bpbench:", err)
@@ -118,6 +148,67 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if sum.Failed > 0 {
 		fmt.Fprintf(stderr, "bpbench: %d of %d jobs failed\n", sum.Failed, sum.Jobs)
+		return 1
+	}
+	return 0
+}
+
+// runResume implements `bpbench -resume store.jsonl`: plan the grid
+// against the store's existing records, execute only the missing or
+// failed cells, and append the new records. A missing store file starts
+// a fresh one; a crash tail (truncated final line from a killed run) is
+// dropped and overwritten, so a store survives kill -9 mid-write.
+func runResume(m *repro.BenchMatrix, cfg repro.BenchConfig, path string, perf bool, stderr io.Writer) int {
+	jobs, err := repro.ExpandBench(m)
+	if err != nil {
+		fmt.Fprintln(stderr, "bpbench:", err)
+		return 2
+	}
+	if len(jobs) == 0 {
+		fmt.Fprintln(stderr, "bpbench: filters matched no cells")
+		return 2
+	}
+	prior, validLen, err := repro.ReadBenchStoreFile(path)
+	if err != nil && !os.IsNotExist(err) {
+		fmt.Fprintln(stderr, "bpbench:", err)
+		return 2
+	}
+	plan := repro.PlanBenchResume(jobs, prior)
+	if n := len(plan.ConfigConflicts); n > 0 {
+		fmt.Fprintf(stderr, "bpbench: store %s was built under a different pipeline configuration (%d cells); rerun with the original -window/-execdelay or use a fresh store\n", path, n)
+		fmt.Fprintln(stderr, "bpbench: first conflict:", plan.ConfigConflicts[0])
+		return 2
+	}
+
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		fmt.Fprintln(stderr, "bpbench:", err)
+		return 2
+	}
+	defer f.Close()
+	// Drop the crash tail so the appended records extend a well-formed
+	// stream (with O_APPEND, writes land at the new end).
+	if err := f.Truncate(validLen); err != nil {
+		fmt.Fprintln(stderr, "bpbench:", err)
+		return 2
+	}
+	sink, err := repro.NewBenchSink("jsonl", f)
+	if err != nil {
+		fmt.Fprintln(stderr, "bpbench:", err)
+		return 2
+	}
+	sum, err := repro.RunBenchResume(plan, cfg, sink)
+	if err != nil {
+		fmt.Fprintln(stderr, "bpbench:", err)
+		return 2
+	}
+	fmt.Fprintf(stderr, "bpbench: resume %s: reused %d of %d cells, ran %d\n",
+		path, sum.Skipped, sum.Jobs, sum.Jobs-sum.Skipped)
+	if perf {
+		repro.RenderBenchPerf(stderr, repro.BenchPerfRows(sum.Records))
+	}
+	if sum.Failed > 0 {
+		fmt.Fprintf(stderr, "bpbench: %d of %d jobs failed\n", sum.Failed, sum.Jobs-sum.Skipped)
 		return 1
 	}
 	return 0
@@ -177,6 +268,39 @@ func splitList(s string) []string {
 		}
 	}
 	return out
+}
+
+// parseDeltas parses the -delta axis: an inclusive "lo:hi" deltaLog
+// range or a comma-separated list; empty means no budget sweep.
+func parseDeltas(s string) ([]int, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, nil
+	}
+	if lo, hi, ok := strings.Cut(s, ":"); ok {
+		l, err1 := strconv.Atoi(strings.TrimSpace(lo))
+		h, err2 := strconv.Atoi(strings.TrimSpace(hi))
+		if err1 != nil || err2 != nil {
+			return nil, fmt.Errorf("bad -delta range %q (want lo:hi, e.g. -4:3)", s)
+		}
+		if l > h {
+			return nil, fmt.Errorf("bad -delta range %q: lo %d > hi %d", s, l, h)
+		}
+		out := make([]int, 0, h-l+1)
+		for d := l; d <= h; d++ {
+			out = append(out, d)
+		}
+		return out, nil
+	}
+	var out []int
+	for _, p := range splitList(s) {
+		d, err := strconv.Atoi(p)
+		if err != nil {
+			return nil, fmt.Errorf("bad -delta value %q", p)
+		}
+		out = append(out, d)
+	}
+	return out, nil
 }
 
 // parseLengths parses the -branches axis.

@@ -5,10 +5,12 @@ import (
 
 	"repro/internal/composed"
 	"repro/internal/ftlpp"
+	"repro/internal/harness"
 	"repro/internal/neural"
 	"repro/internal/predictor"
 	"repro/internal/sim"
 	"repro/internal/tage"
+	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -177,34 +179,89 @@ func E10(cfg Config) Report {
 	return r
 }
 
+// scalableModel adapts a per-deltaLog predictor constructor into a
+// harness model with the Figure 9 budget-scaling hook: the base model is
+// the deltaLog-0 variant, and every variant reports its actual storage
+// budget.
+func scalableModel[C any](name string, mk func(d int) func() predictor.Predictor[C]) harness.Model {
+	scale := func(d int) harness.Model {
+		return harness.Model{
+			StorageBits: mk(d)().StorageBits(),
+			Run: func(tr *trace.Trace, opt sim.Options) sim.Result {
+				return sim.RunTrace(mk(d)(), tr, opt)
+			},
+		}
+	}
+	m := scale(0)
+	m.Name = name
+	m.Scale = scale
+	return m
+}
+
+// ScalableTAGEModel is the reference TAGE as a harness model with the
+// Figure 9 budget-scaling hook; deltaLog 0 is the 512Kbit reference.
+func ScalableTAGEModel() harness.Model {
+	return scalableModel("tage", func(d int) func() predictor.Predictor[tage.Ctx] {
+		return func() predictor.Predictor[tage.Ctx] {
+			return tage.New(tage.Scale(tage.Reference(), d))
+		}
+	})
+}
+
+// ScalableTAGELSCModel is TAGE-LSC as a harness model with the budget
+// hook scaling its TAGE component (the Figure 9 protocol).
+func ScalableTAGELSCModel() harness.Model {
+	return scalableModel("tage-lsc", func(d int) func() predictor.Predictor[composed.Ctx] {
+		return func() predictor.Predictor[composed.Ctx] {
+			return composed.New(composed.TAGELSC(
+				tage.Scale(composed.Budget512K(), d), fmt.Sprintf("TAGE-LSC%+d", d)))
+		}
+	})
+}
+
 // E11 reproduces Figure 9: TAGE vs TAGE-LSC, 128Kbit to 32Mbit, scaling
 // all components by powers of two. Shape targets: TAGE-LSC performs as a
 // 4-8x larger TAGE in the 128-512Kbit range; both curves plateau by
 // 16-32Mbit; CLIENT02's misprediction rate collapses only at multi-Mbit
-// budgets.
+// budgets. The whole grid runs as one harness matrix with a DeltaLogs
+// axis — the same sweep `bpbench -models tage,tage-lsc -delta -2:6`
+// performs — instead of a private per-budget loop.
 func E11(cfg Config) Report {
 	cfg = cfg.withDefaults()
 	r := Report{ID: "E11", Title: "Figure 9: TAGE vs TAGE-LSC size scaling"}
-	opts := cfg.simOptions(predictor.ScenarioA)
 	deltas := []int{-2, -1, 0, 1, 2, 3, 4, 5, 6} // 128Kb .. 32Mb
+	m := &harness.Matrix{
+		Models:    []harness.Model{ScalableTAGEModel(), ScalableTAGELSCModel()},
+		Traces:    workload.All(),
+		Scenarios: []predictor.Scenario{predictor.ScenarioA},
+		Lengths:   []int{cfg.BranchesPerTrace},
+		DeltaLogs: deltas,
+		Window:    cfg.Window,
+		ExecDelay: cfg.ExecDelay,
+	}
+	sum, err := harness.Run(m, harness.Config{Parallelism: cfg.Parallelism}, harness.Discard)
+	if err != nil {
+		r.check("harness sweep ran", false)
+		r.Notes = append(r.Notes, "sweep failed: "+err.Error())
+		return r
+	}
 	tageM := map[int]float64{}
 	lscM := map[int]float64{}
 	client02 := map[int]float64{}
-	for _, d := range deltas {
-		d := d
-		tr := MakeRunner(func() predictor.Predictor[tage.Ctx] {
-			return tage.New(tage.Scale(tage.Reference(), d))
-		})(cfg, opts)
-		lr := ComposedRunner(func() composed.Config {
-			return composed.TAGELSC(tage.Scale(composed.Budget512K(), d), fmt.Sprintf("TAGE-LSC%+d", d))
-		})(cfg, opts)
-		tageM[d] = tr.TotalMPPKI()
-		lscM[d] = lr.TotalMPPKI()
-		for _, res := range lr.Results {
-			if res.Trace == "CLIENT02" {
-				client02[d] = res.MPPKI
+	suites := map[string]float64{}
+	for _, rec := range sum.Records {
+		switch rec.Kind {
+		case harness.KindSuite:
+			suites[rec.Model] = rec.MPPKISum
+		case harness.KindCell:
+			if rec.Trace == "CLIENT02" && rec.Model == harness.ScaledName("tage-lsc", rec.DeltaLog) {
+				client02[rec.DeltaLog] = rec.MPPKI
 			}
 		}
+	}
+	for _, d := range deltas {
+		tageM[d] = suites[harness.ScaledName("tage", d)]
+		lscM[d] = suites[harness.ScaledName("tage-lsc", d)]
 		size := 512
 		if d >= 0 {
 			size <<= uint(d)

@@ -188,7 +188,7 @@ func TestCSVAndTableSinks(t *testing.T) {
 	if len(lines) != 2 || !strings.HasPrefix(lines[0], "kind,model,trace") {
 		t.Fatalf("csv output:\n%s", csvBuf.String())
 	}
-	if !strings.Contains(lines[1], "cell,tage,INT01,INT,A,1000,0,0,3.5,70") {
+	if !strings.Contains(lines[1], "cell,tage,INT01,INT,A,1000,0,0,0,0,3.5,70") {
 		t.Fatalf("csv row: %s", lines[1])
 	}
 

@@ -98,13 +98,23 @@ func TestJobSeedDeterministicAndDistinct(t *testing.T) {
 }
 
 // fakeModel returns deterministic synthetic results without running a
-// real predictor; mpki(name) controls per-trace values.
+// real predictor; mpki(name) controls per-trace values. Like the real
+// simulator, the result records the effective pipeline configuration
+// (resume reuses a stored cell only when it matches).
 func fakeModel(name string, mpki func(traceName string) float64) Model {
 	return Model{Name: name, Run: func(tr *trace.Trace, opt sim.Options) sim.Result {
 		v := mpki(tr.Name)
+		w, d := opt.Window, opt.ExecDelay
+		if w <= 0 {
+			w = sim.DefaultWindow
+		}
+		if d <= 0 {
+			d = sim.DefaultExecDelay
+		}
 		return sim.Result{
 			Trace: tr.Name, Category: tr.Category, Predictor: name,
 			Scenario: opt.Scenario, Branches: uint64(len(tr.Branches)),
+			Window: w, ExecDelay: d,
 			MicroOps: 1000, Mispredicts: uint64(v), MPKI: v, MPPKI: 20 * v,
 			Misprediction: v / 1000,
 		}

@@ -20,6 +20,21 @@ type Model struct {
 	Name        string
 	StorageBits int
 	Run         func(tr *trace.Trace, opt sim.Options) sim.Result
+	// Scale, when non-nil, returns the model with every component budget
+	// multiplied by 2^deltaLog (the Figure 9 protocol). A model that
+	// cannot be budget-scaled leaves it nil; expanding such a model across
+	// a DeltaLogs axis is an error, not a silent skip. Expand ignores the
+	// Name the callee set and renames each variant ScaledName(base, d) so
+	// cell keys follow one convention harness-wide.
+	Scale func(deltaLog int) Model
+}
+
+// ScaledName is the canonical name of a model variant scaled by
+// 2^deltaLog: "tage@-4", "tage@+0", "tage@+3". The '@' keeps the name a
+// single path segment, so cell keys stay four '/'-separated fields and
+// existing glob filters keep working.
+func ScaledName(base string, deltaLog int) string {
+	return fmt.Sprintf("%s@%+d", base, deltaLog)
 }
 
 // Matrix declares an experiment grid. Expansion order is stable:
@@ -31,11 +46,20 @@ type Matrix struct {
 	Scenarios []predictor.Scenario
 	// Lengths lists branches-per-trace values (one job per length).
 	Lengths []int
+	// DeltaLogs is the optional storage-budget axis: each model job is
+	// expanded across tage.Scale-style 2^deltaLog budgets (Figure 9).
+	// Empty means no budget sweep — models run exactly as declared and
+	// cell keys are unchanged, so pre-existing baselines stay valid. When
+	// non-empty, every model in the matrix must have a Scale hook.
+	DeltaLogs []int
 	// Include and Exclude are glob filters over expanded cells. A pattern
 	// containing '/' is matched (path.Match) against the full cell key
 	// "model/trace/scenario/branches"; otherwise it is matched against
-	// each of the four fields individually. Empty Include means
-	// include-all; Exclude wins over Include.
+	// each of the four fields individually — where the model field
+	// matches both the scaled variant name ("tage@+2") and its base
+	// ("tage"), so a model filter keeps selecting its cells when a
+	// DeltaLogs axis renames them. Empty Include means include-all;
+	// Exclude wins over Include.
 	Include []string
 	Exclude []string
 	// Window and ExecDelay configure the pipeline model. Zero selects the
@@ -56,6 +80,10 @@ type Job struct {
 	Spec     workload.Spec
 	Scenario predictor.Scenario
 	Branches int
+	// DeltaLog is the storage-budget exponent the cell's model was scaled
+	// by; meaningful only when the matrix declared a DeltaLogs axis (the
+	// scaled Model.Name carries it into the cell key either way).
+	DeltaLog int
 	// Seed is the job's deterministic seed, derived from the cell key; it
 	// is recorded in the Record so any cell can be re-run in isolation.
 	Seed uint64
@@ -89,6 +117,9 @@ func JobSeed(key string) uint64 {
 // matchCell reports whether any of the patterns selects the cell.
 func matchCell(patterns []string, j Job) bool {
 	fields := []string{j.Model.Name, j.Spec.Name, j.Scenario.Letter(), fmt.Sprint(j.Branches)}
+	if base, _, scaled := strings.Cut(j.Model.Name, "@"); scaled {
+		fields = append(fields, base)
+	}
 	key := j.Key()
 	for _, p := range patterns {
 		if strings.ContainsRune(p, '/') {
@@ -134,16 +165,21 @@ func (m *Matrix) Expand() ([]Job, error) {
 	if len(lengths) == 0 {
 		return nil, fmt.Errorf("harness: matrix has no trace lengths")
 	}
+	variants, err := m.modelVariants()
+	if err != nil {
+		return nil, err
+	}
 	var jobs []Job
-	for _, mdl := range m.Models {
+	for _, v := range variants {
 		for _, spec := range m.Traces {
 			for _, sc := range m.Scenarios {
 				for _, n := range lengths {
 					j := Job{
-						Model:    mdl,
+						Model:    v.model,
 						Spec:     spec,
 						Scenario: sc,
 						Branches: n,
+						DeltaLog: v.deltaLog,
 						Opts:     sim.Options{Scenario: sc, Window: m.Window, ExecDelay: m.ExecDelay},
 					}
 					if len(m.Include) > 0 && !matchCell(m.Include, j) {
@@ -160,6 +196,49 @@ func (m *Matrix) Expand() ([]Job, error) {
 		}
 	}
 	return jobs, nil
+}
+
+// modelVariant is one model after budget expansion.
+type modelVariant struct {
+	model    Model
+	deltaLog int
+}
+
+// modelVariants expands the model axis across DeltaLogs. With no delta
+// axis each model passes through untouched (names, and therefore cell
+// keys, identical to a pre-axis matrix); with one, each scalable model
+// yields one renamed variant per deltaLog, budget curve contiguous in
+// expansion order.
+func (m *Matrix) modelVariants() ([]modelVariant, error) {
+	if len(m.DeltaLogs) == 0 {
+		out := make([]modelVariant, len(m.Models))
+		for i, mdl := range m.Models {
+			out[i] = modelVariant{model: mdl}
+		}
+		return out, nil
+	}
+	seen := make(map[int]bool, len(m.DeltaLogs))
+	for _, d := range m.DeltaLogs {
+		if seen[d] {
+			return nil, fmt.Errorf("harness: duplicate deltaLog %+d in matrix (would duplicate cell keys)", d)
+		}
+		seen[d] = true
+	}
+	var out []modelVariant
+	for _, mdl := range m.Models {
+		if mdl.Scale == nil {
+			return nil, fmt.Errorf("harness: model %q does not support budget scaling (no Scale hook) but the matrix declares a deltaLog axis", mdl.Name)
+		}
+		for _, d := range m.DeltaLogs {
+			scaled := mdl.Scale(d)
+			scaled.Name = ScaledName(mdl.Name, d)
+			if scaled.Run == nil {
+				return nil, fmt.Errorf("harness: model %q scaled by %+d has no Run", mdl.Name, d)
+			}
+			out = append(out, modelVariant{model: scaled, deltaLog: d})
+		}
+	}
+	return out, nil
 }
 
 // SelectTraces resolves trace-name glob patterns (e.g. "INT*") against

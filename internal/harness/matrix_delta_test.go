@@ -1,0 +1,246 @@
+package harness
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/predictor"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// scalableFake wraps fakeModel with a Scale hook whose per-delta MPKI
+// halves with each budget doubling, so tests can see scaling took.
+func scalableFake(name string) Model {
+	m := fakeModel(name, flat(64))
+	m.Scale = func(d int) Model {
+		v := 64.0
+		for i := 0; i < d; i++ {
+			v /= 2
+		}
+		for i := 0; i > d; i-- {
+			v *= 2
+		}
+		sm := fakeModel("SCALED-NAME-IGNORED", flat(v))
+		sm.StorageBits = 1 << uint(16+d)
+		return sm
+	}
+	return m
+}
+
+func TestScaledName(t *testing.T) {
+	for _, tc := range []struct {
+		d    int
+		want string
+	}{{-4, "tage@-4"}, {0, "tage@+0"}, {3, "tage@+3"}} {
+		if got := ScaledName("tage", tc.d); got != tc.want {
+			t.Errorf("ScaledName(tage, %d) = %q, want %q", tc.d, got, tc.want)
+		}
+	}
+}
+
+func TestMatrixDeltaAxisExpansion(t *testing.T) {
+	m := testMatrix(t, []Model{scalableFake("m")}, []string{"INT01", "INT02"},
+		[]predictor.Scenario{predictor.ScenarioA}, []int{50})
+	m.DeltaLogs = []int{-1, 0, 2}
+	jobs, err := m.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 6 {
+		t.Fatalf("expanded %d jobs, want 6 (3 deltas x 2 traces)", len(jobs))
+	}
+	// Budget curve contiguous: deltas nest directly under the model, and
+	// Expand overrides whatever name Scale returned.
+	wantKeys := []string{
+		"m@-1/INT01/A/50", "m@-1/INT02/A/50",
+		"m@+0/INT01/A/50", "m@+0/INT02/A/50",
+		"m@+2/INT01/A/50", "m@+2/INT02/A/50",
+	}
+	for i, w := range wantKeys {
+		if jobs[i].Key() != w {
+			t.Fatalf("jobs[%d] = %s, want %s", i, jobs[i].Key(), w)
+		}
+	}
+	wantDeltas := []int{-1, -1, 0, 0, 2, 2}
+	for i, j := range jobs {
+		if j.DeltaLog != wantDeltas[i] {
+			t.Fatalf("jobs[%d].DeltaLog = %d, want %d", i, j.DeltaLog, wantDeltas[i])
+		}
+		if j.Model.StorageBits != 1<<uint(16+j.DeltaLog) {
+			t.Fatalf("jobs[%d].StorageBits = %d", i, j.Model.StorageBits)
+		}
+	}
+
+	// Cell filters see the scaled names.
+	m.Include = []string{"m@+2/*/*/*"}
+	jobs, err = m.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 2 {
+		t.Fatalf("include on scaled name kept %d jobs, want 2", len(jobs))
+	}
+
+	// A single-field filter on the base model name keeps selecting its
+	// cells after the axis renames them (an include that worked without
+	// -delta must not silently match nothing with it).
+	m.Include = []string{"m"}
+	jobs, err = m.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 6 {
+		t.Fatalf("include on base name kept %d jobs, want 6", len(jobs))
+	}
+}
+
+func TestMatrixDeltaAxisRunRecords(t *testing.T) {
+	m := testMatrix(t, []Model{scalableFake("m")}, []string{"INT01"},
+		[]predictor.Scenario{predictor.ScenarioA}, []int{50})
+	m.DeltaLogs = []int{-1, 0, 1}
+	sink := &collectSink{}
+	sum, err := Run(m, Config{}, sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Jobs != 3 || sum.Failed != 0 {
+		t.Fatalf("summary = %+v", sum)
+	}
+	// Scaled budgets actually run distinct models: MPKI follows the
+	// 2^delta scaling the fake encodes, and records carry the axis.
+	wantMPKI := map[int]float64{-1: 128, 0: 64, 1: 32}
+	seen := 0
+	for _, r := range sink.recs {
+		if r.Kind != KindCell {
+			// Aggregates inherit the group's budget fields.
+			if r.StorageBits == 0 {
+				t.Fatalf("aggregate without storage bits: %+v", r)
+			}
+			continue
+		}
+		seen++
+		if r.MPKI != wantMPKI[r.DeltaLog] {
+			t.Fatalf("delta %+d MPKI = %v, want %v", r.DeltaLog, r.MPKI, wantMPKI[r.DeltaLog])
+		}
+		if r.StorageBits != 1<<uint(16+r.DeltaLog) {
+			t.Fatalf("delta %+d storage bits = %d", r.DeltaLog, r.StorageBits)
+		}
+		if r.Model != ScaledName("m", r.DeltaLog) {
+			t.Fatalf("cell model = %q", r.Model)
+		}
+	}
+	if seen != 3 {
+		t.Fatalf("saw %d cells", seen)
+	}
+}
+
+func TestMatrixDeltaAxisErrors(t *testing.T) {
+	unscalable := testMatrix(t, []Model{fakeModel("plain", flat(1))}, []string{"INT01"},
+		[]predictor.Scenario{predictor.ScenarioA}, []int{50})
+	unscalable.DeltaLogs = []int{0, 1}
+	if _, err := unscalable.Expand(); err == nil || !strings.Contains(err.Error(), "plain") {
+		t.Fatalf("unscalable model must fail expansion by name, got %v", err)
+	}
+
+	dup := testMatrix(t, []Model{scalableFake("m")}, []string{"INT01"},
+		[]predictor.Scenario{predictor.ScenarioA}, []int{50})
+	dup.DeltaLogs = []int{1, -1, 1}
+	if _, err := dup.Expand(); err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Fatalf("duplicate deltas must fail expansion, got %v", err)
+	}
+}
+
+func TestMatrixEmptyDeltaAxisUnchanged(t *testing.T) {
+	// Without DeltaLogs the expansion of a scalable model is identical to
+	// a pre-axis matrix: base name, delta 0 — existing baselines keep
+	// their keys.
+	m := testMatrix(t, []Model{scalableFake("m")}, []string{"INT01"},
+		[]predictor.Scenario{predictor.ScenarioA}, []int{50})
+	jobs, err := m.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 1 || jobs[0].Key() != "m/INT01/A/50" || jobs[0].DeltaLog != 0 {
+		t.Fatalf("jobs = %+v", jobs)
+	}
+}
+
+// TestRecordKeyUniquenessProperty is the resume/diff correctness
+// backstop: across randomly shaped matrices — including the deltaLog
+// axis — every expanded job must produce a distinct Record.Key().
+// Duplicate keys would silently corrupt the resume store (a cell skipped
+// because an unrelated cell wrote its key) and diff indexing.
+func TestRecordKeyUniquenessProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260727))
+	traces := []string{"INT01", "INT02", "MM01", "WS03", "SERVER01", "CLIENT02"}
+	scenarios := []predictor.Scenario{
+		predictor.ScenarioI, predictor.ScenarioA, predictor.ScenarioB, predictor.ScenarioC,
+	}
+	pick := func(max int) int { return 1 + rng.Intn(max) } // at least one
+
+	for iter := 0; iter < 200; iter++ {
+		var models []Model
+		for i, n := 0, pick(3); i < n; i++ {
+			models = append(models, scalableFake(fmt.Sprintf("m%d", i)))
+		}
+		shuffled := append([]string(nil), traces...)
+		rng.Shuffle(len(shuffled), func(a, b int) { shuffled[a], shuffled[b] = shuffled[b], shuffled[a] })
+		m := testMatrix(t, models, shuffled[:pick(len(shuffled))],
+			scenarios[:pick(len(scenarios))], nil)
+		for i, n := 0, pick(3); i < n; i++ {
+			m.Lengths = append(m.Lengths, 50*(i+1))
+		}
+		if rng.Intn(3) > 0 { // two thirds of the matrices get a budget axis
+			span := 1 + rng.Intn(8)
+			lo := rng.Intn(9) - 5
+			for d := lo; d < lo+span; d++ {
+				m.DeltaLogs = append(m.DeltaLogs, d)
+			}
+		}
+
+		jobs, err := m.Expand()
+		if err != nil {
+			t.Fatalf("iter %d: %v (matrix %+v)", iter, err, m)
+		}
+		seen := make(map[string]int, len(jobs))
+		for i, j := range jobs {
+			key := j.Key()
+			if prev, dup := seen[key]; dup {
+				t.Fatalf("iter %d: duplicate key %q for jobs %d and %d", iter, key, prev, i)
+			}
+			seen[key] = i
+			// The streamed record must agree with the job about the key
+			// (resume matches file records against expanded jobs by it).
+			rec := cellRecord(j, sim.Result{})
+			if rec.Key() != key {
+				t.Fatalf("iter %d: record key %q != job key %q", iter, rec.Key(), key)
+			}
+			fr := failedRecord(j, fmt.Errorf("x"))
+			if fr.Key() != key {
+				t.Fatalf("iter %d: failed-record key %q != job key %q", iter, fr.Key(), key)
+			}
+		}
+	}
+}
+
+// Guard against the Scale hook capturing loop variables or otherwise
+// aliasing state across variants: two variants' Run functions must not
+// interfere (each fresh per expansion).
+func TestMatrixDeltaVariantsIndependent(t *testing.T) {
+	m := testMatrix(t, []Model{scalableFake("m")}, []string{"INT01"},
+		[]predictor.Scenario{predictor.ScenarioA}, []int{50})
+	m.DeltaLogs = []int{-2, 2}
+	jobs, err := m.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := &trace.Trace{Name: "INT01", Category: "INT"}
+	a := jobs[0].Model.Run(tr, sim.Options{})
+	b := jobs[1].Model.Run(tr, sim.Options{})
+	if a.MPKI != 256 || b.MPKI != 16 {
+		t.Fatalf("variant runs aliased: MPKI %v / %v, want 256 / 16", a.MPKI, b.MPKI)
+	}
+}

@@ -30,6 +30,13 @@ type Record struct {
 	Branches int    `json:"branches"`
 	Seed     uint64 `json:"seed,omitempty"`
 
+	// DeltaLog and StorageBits describe the storage-budget axis: the
+	// 2^deltaLog scaling applied to the model (0 outside a budget sweep —
+	// the scaled model name "base@+d" is what keys the cell) and the
+	// resulting predictor budget in bits, when the model reports one.
+	DeltaLog    int `json:"delta_log,omitempty"`
+	StorageBits int `json:"storage_bits,omitempty"`
+
 	// Window and ExecDelay record the pipeline configuration actually
 	// used, so diffs across runs with different pipeline models are
 	// flagged instead of silently compared.
@@ -87,6 +94,8 @@ func cellRecord(j Job, res sim.Result) Record {
 		Scenario:       j.Scenario.Letter(),
 		Branches:       j.Branches,
 		Seed:           j.Seed,
+		DeltaLog:       j.DeltaLog,
+		StorageBits:    j.Model.StorageBits,
 		Window:         res.Window,
 		ExecDelay:      res.ExecDelay,
 		MPKI:           res.MPKI,
@@ -103,13 +112,15 @@ func cellRecord(j Job, res sim.Result) Record {
 // failedRecord tags a panicked job.
 func failedRecord(j Job, err error) Record {
 	return Record{
-		Kind:     KindCell,
-		Model:    j.Model.Name,
-		Trace:    j.Spec.Name,
-		Category: j.Spec.Category,
-		Scenario: j.Scenario.Letter(),
-		Branches: j.Branches,
-		Seed:     j.Seed,
-		Err:      err.Error(),
+		Kind:        KindCell,
+		Model:       j.Model.Name,
+		Trace:       j.Spec.Name,
+		Category:    j.Spec.Category,
+		Scenario:    j.Scenario.Letter(),
+		Branches:    j.Branches,
+		Seed:        j.Seed,
+		DeltaLog:    j.DeltaLog,
+		StorageBits: j.Model.StorageBits,
+		Err:         err.Error(),
 	}
 }

@@ -1,0 +1,164 @@
+package harness
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"repro/internal/sim"
+)
+
+// The resumable result store: a saved JSONL run is append-only, and a
+// resume run re-executes only the cells the store is missing (or that
+// failed), appending the new records — so an interrupted multi-hour
+// sweep continues where it stopped instead of restarting, and re-running
+// a completed sweep executes zero simulator jobs.
+
+// ReadStoreFile reads a resume store, tolerating the damage an
+// interrupted run leaves behind: a final line that is unterminated or
+// unparseable (the process died mid-write) is treated as a crash tail —
+// dropped from the records and excluded from the returned valid byte
+// length, so the caller can truncate to validLen before appending. A
+// bad line *followed by* more data is genuine corruption and errors. A
+// missing file is an error (callers decide whether that starts a fresh
+// store).
+func ReadStoreFile(path string) (recs []Record, validLen int64, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	for int(validLen) < len(data) {
+		rest := data[validLen:]
+		nl := bytes.IndexByte(rest, '\n')
+		if nl < 0 {
+			break // unterminated tail: crash mid-write
+		}
+		line := rest[:nl]
+		if len(bytes.TrimSpace(line)) > 0 {
+			var r Record
+			if jsonErr := json.Unmarshal(line, &r); jsonErr != nil {
+				if len(bytes.TrimSpace(rest[nl+1:])) > 0 {
+					return nil, 0, fmt.Errorf("%s: store corrupt at byte %d (not a crash tail: more records follow): %w", path, validLen, jsonErr)
+				}
+				break // bad final line: crash tail
+			}
+			recs = append(recs, r)
+		}
+		validLen += int64(nl + 1)
+	}
+	return recs, validLen, nil
+}
+
+// ResumePlan partitions an expanded job list against a prior record
+// stream (typically ReadRecordsFile on the run's own output).
+type ResumePlan struct {
+	// Jobs is the full expansion, in matrix order.
+	Jobs []Job
+	// Todo lists the jobs to execute: cells with no successful prior
+	// record. It is a subsequence of Jobs, so appended records extend the
+	// store in expansion order.
+	Todo []Job
+	// Reused maps cell keys to the prior successful records standing in
+	// for the skipped jobs.
+	Reused map[string]Record
+	// PriorHasAggregates reports whether the prior stream already ends in
+	// aggregate records, i.e. the stored run completed. A resume that has
+	// nothing to execute against such a store appends nothing at all.
+	PriorHasAggregates bool
+	// ConfigConflicts lists cells whose stored record was simulated under
+	// a different pipeline configuration (window, exec delay) than the
+	// matrix requests. Such records are never reused — mixing pipeline
+	// models in one store would silently change what the aggregates
+	// measure — and callers should surface the conflict rather than let a
+	// sweep ping-pong between configurations in the same store.
+	ConfigConflicts []string
+}
+
+// PlanResume builds the resume plan for jobs against prior records. A
+// cell is reusable when the store holds a successful record under its
+// key *and* the record's pipeline configuration matches the one the job
+// would run (zero Window/ExecDelay in the matrix resolve to the sim
+// defaults before comparing); failed cells are re-run (their error
+// records stay in the append-only store — the newest record for a key
+// wins on read). Prior records whose keys the matrix does not expand to
+// are ignored, so one store can accumulate several overlapping sweeps.
+func PlanResume(jobs []Job, prior []Record) *ResumePlan {
+	plan := &ResumePlan{Jobs: jobs, Reused: make(map[string]Record)}
+	ok := make(map[string]Record)
+	for _, r := range prior {
+		switch r.Kind {
+		case KindCell, "":
+			if !r.Failed() {
+				ok[r.Key()] = r
+			}
+		default:
+			plan.PriorHasAggregates = true
+		}
+	}
+	for _, j := range jobs {
+		key := j.Key()
+		if r, have := ok[key]; have {
+			if wantW, wantD := effectivePipeline(j); r.Window != wantW || r.ExecDelay != wantD {
+				plan.ConfigConflicts = append(plan.ConfigConflicts, fmt.Sprintf(
+					"%s: stored window/execdelay %d/%d, requested %d/%d",
+					key, r.Window, r.ExecDelay, wantW, wantD))
+			} else {
+				plan.Reused[key] = r
+				continue
+			}
+		}
+		plan.Todo = append(plan.Todo, j)
+	}
+	return plan
+}
+
+// effectivePipeline resolves the job's pipeline options the way the
+// simulator will (non-positive selects the default), matching the
+// values RunTrace records.
+func effectivePipeline(j Job) (window, execDelay int) {
+	window, execDelay = j.Opts.Window, j.Opts.ExecDelay
+	if window <= 0 {
+		window = sim.DefaultWindow
+	}
+	if execDelay <= 0 {
+		execDelay = sim.DefaultExecDelay
+	}
+	return window, execDelay
+}
+
+// RunResume executes only the plan's Todo jobs, streaming the new cell
+// records to sink (in expansion order — exactly the lines an append to
+// the store needs), then the aggregates recomputed over the merged run
+// (reused + new cells, in full expansion order), so a store completed by
+// resumes is record-for-record identical to one written in a single
+// uninterrupted run, modulo wall-clock telemetry. Aggregates are
+// suppressed when there was nothing to run and the store already has
+// them: re-resuming a complete store is a no-op append.
+func RunResume(plan *ResumePlan, cfg Config, sink Sink) (*Summary, error) {
+	sum := &Summary{Jobs: len(plan.Jobs), Skipped: len(plan.Jobs) - len(plan.Todo)}
+	emit, emitErr := emitter(sum, sink)
+	fresh := executeJobs(plan.Todo, cfg, func(r Record) {
+		if r.Failed() {
+			sum.Failed++
+		}
+		emit(r)
+	})
+	emitAggs := len(plan.Todo) > 0 || !plan.PriorHasAggregates
+	if *emitErr == nil && !cfg.NoAggregates && emitAggs {
+		merged := make([]Record, 0, len(plan.Jobs))
+		next := 0
+		for _, j := range plan.Jobs {
+			if r, have := plan.Reused[j.Key()]; have {
+				merged = append(merged, r)
+			} else {
+				merged = append(merged, fresh[next])
+				next++
+			}
+		}
+		for _, agg := range Aggregate(merged) {
+			emit(agg)
+		}
+	}
+	return sum, closeSink(sink, *emitErr)
+}

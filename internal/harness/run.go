@@ -33,7 +33,12 @@ func (c Config) workers() int {
 
 // Summary is the outcome of a matrix run.
 type Summary struct {
-	Jobs    int
+	// Jobs counts the cells of the expanded grid; on a resume run,
+	// Jobs-Skipped of them were actually executed.
+	Jobs int
+	// Skipped counts cells reused from a prior result store instead of
+	// re-run (always 0 outside RunResume).
+	Skipped int
 	Failed  int
 	Records []Record // every record emitted, in emission order
 }
@@ -79,6 +84,27 @@ func Run(m *Matrix, cfg Config, sink Sink) (*Summary, error) {
 
 // RunJobs executes an already-expanded job list (see Matrix.Expand).
 func RunJobs(jobs []Job, cfg Config, sink Sink) (*Summary, error) {
+	sum := &Summary{Jobs: len(jobs)}
+	emit, emitErr := emitter(sum, sink)
+	results := executeJobs(jobs, cfg, func(r Record) {
+		if r.Failed() {
+			sum.Failed++
+		}
+		emit(r)
+	})
+	if *emitErr == nil && !cfg.NoAggregates {
+		for _, agg := range Aggregate(results) {
+			emit(agg)
+		}
+	}
+	return sum, closeSink(sink, *emitErr)
+}
+
+// executeJobs runs the job list on the worker pool, invoking visit for
+// every record in job order as results complete (a reorder buffer
+// decouples worker completion order from visit order, so streaming
+// starts with the first finished cell), and returns all records.
+func executeJobs(jobs []Job, cfg Config, visit func(Record)) []Record {
 	cache := &traceCache{m: make(map[string]*traceEntry)}
 	results := make([]Record, len(jobs))
 	done := make([]chan struct{}, len(jobs))
@@ -105,33 +131,33 @@ func RunJobs(jobs []Job, cfg Config, sink Sink) (*Summary, error) {
 		results[i] = res
 	})
 
-	sum := &Summary{Jobs: len(jobs)}
-	// A sink failure mid-stream must not strand the worker pool or skip
-	// Close: stop emitting, keep draining, report the first error.
-	var emitErr error
-	emit := func(r Record) {
-		if emitErr != nil {
+	for i := range jobs {
+		<-done[i]
+		visit(results[i])
+	}
+	return results
+}
+
+// emitter wraps a sink for the run loops: a sink failure mid-stream must
+// not strand the worker pool or skip Close, so emit stops forwarding on
+// the first error (returned via the pointer) while callers keep draining.
+func emitter(sum *Summary, sink Sink) (emit func(Record), emitErr *error) {
+	var err error
+	return func(r Record) {
+		if err != nil {
 			return
 		}
 		sum.Records = append(sum.Records, r)
-		emitErr = sink.Emit(r)
-	}
-	for i := range jobs {
-		<-done[i]
-		if results[i].Failed() {
-			sum.Failed++
-		}
-		emit(results[i])
-	}
-	if emitErr == nil && !cfg.NoAggregates {
-		for _, agg := range Aggregate(results) {
-			emit(agg)
-		}
-	}
+		err = sink.Emit(r)
+	}, &err
+}
+
+// closeSink closes the sink, preferring an earlier emit error.
+func closeSink(sink Sink, emitErr error) error {
 	if closeErr := sink.Close(); emitErr == nil {
-		emitErr = closeErr
+		return closeErr
 	}
-	return sum, emitErr
+	return emitErr
 }
 
 // groupKey identifies one (model, scenario, length) aggregation group.
@@ -147,9 +173,18 @@ type accum struct {
 	simBranches uint64
 	elapsed     float64
 	cells       int
+	// deltaLog and storageBits are constant across a group's cells (the
+	// scaled model name is part of the group identity); the first cell
+	// stamps them so budget-sweep aggregates stay plottable on their own.
+	deltaLog    int
+	storageBits int
 }
 
 func (a *accum) add(r Record) {
+	if a.cells == 0 {
+		a.deltaLog = r.DeltaLog
+		a.storageBits = r.StorageBits
+	}
 	a.mpki += r.MPKI
 	a.mppki += r.MPPKI
 	a.mispredicts += r.Mispredicts
@@ -165,6 +200,8 @@ func (a *accum) record(kind string, g groupKey, category string) Record {
 		Category:    category,
 		Scenario:    g.scenario,
 		Branches:    g.branches,
+		DeltaLog:    a.deltaLog,
+		StorageBits: a.storageBits,
 		MPKISum:     a.mpki,
 		MPPKISum:    a.mppki,
 		Mispredicts: a.mispredicts,

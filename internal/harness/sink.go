@@ -56,6 +56,7 @@ func (s *csvSink) Emit(r Record) error {
 		s.header = true
 		if err := s.w.Write([]string{
 			"kind", "model", "trace", "category", "scenario", "branches",
+			"delta_log", "storage_bits",
 			"window", "exec_delay",
 			"mpki", "mppki", "mpki_sum", "mppki_sum", "mispredicts",
 			"misprediction_rate",
@@ -68,6 +69,7 @@ func (s *csvSink) Emit(r Record) error {
 	return s.w.Write([]string{
 		r.Kind, r.Model, r.Trace, r.Category, r.Scenario,
 		strconv.Itoa(r.Branches),
+		strconv.Itoa(r.DeltaLog), strconv.Itoa(r.StorageBits),
 		strconv.Itoa(r.Window), strconv.Itoa(r.ExecDelay),
 		formatFloat(r.MPKI), formatFloat(r.MPPKI),
 		formatFloat(r.MPKISum), formatFloat(r.MPPKISum),
@@ -136,6 +138,18 @@ func (s *tableSink) Emit(r Record) error {
 }
 
 func (s *tableSink) Close() error { return s.err }
+
+// --- discard ---
+
+type discardSink struct{}
+
+// Discard is a Sink that drops every record: callers that only want the
+// Summary (e.g. the experiments package reading aggregates) run against
+// it instead of inventing a throwaway sink.
+var Discard Sink = discardSink{}
+
+func (discardSink) Emit(Record) error { return nil }
+func (discardSink) Close() error      { return nil }
 
 // --- multi ---
 

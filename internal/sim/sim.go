@@ -39,6 +39,15 @@ type Options struct {
 	PenaltyBase float64
 }
 
+// Default pipeline parameters, applied when Options leaves the fields
+// non-positive. Exported so layers that compare stored results against
+// requested configurations (the harness resume store) can resolve a
+// zero to the value a run would actually use.
+const (
+	DefaultWindow    = 24
+	DefaultExecDelay = 6
+)
+
 func (o Options) withDefaults() Options {
 	// Non-positive values select the defaults: a negative window would
 	// corrupt the retire ring, and a negative delay or penalty has no
@@ -47,10 +56,10 @@ func (o Options) withDefaults() Options {
 	// the two layers agree: zero means default, negative is an error at
 	// the declarative boundary and a default here.
 	if o.Window <= 0 {
-		o.Window = 24
+		o.Window = DefaultWindow
 	}
 	if o.ExecDelay <= 0 {
-		o.ExecDelay = 6
+		o.ExecDelay = DefaultExecDelay
 	}
 	if o.PenaltyBase <= 0 {
 		o.PenaltyBase = 20

@@ -1,0 +1,97 @@
+package tage
+
+import (
+	"math"
+	"testing"
+)
+
+// TestScaleExtremeNegativeClamps: Figure 9 budgets below the clamp floor
+// must saturate cleanly — no panic, no zero-size tables — so a deltaLog
+// axis can't corrupt a sweep with a degenerate predictor.
+func TestScaleExtremeNegativeClamps(t *testing.T) {
+	for _, d := range []int{-7, -20, -100, math.MinInt32} {
+		cfg := Scale(Reference(), d)
+		for i, l := range cfg.TableLogs {
+			if l < minScaledTableLog {
+				t.Fatalf("delta %d: table %d log %d below floor", d, i, l)
+			}
+		}
+		if cfg.LogBimodal < minScaledBimodalLog {
+			t.Fatalf("delta %d: bimodal log %d below floor", d, cfg.LogBimodal)
+		}
+		if cfg.LogBimodalHyst != cfg.LogBimodal-2 {
+			t.Fatalf("delta %d: hysteresis log %d does not track bimodal %d",
+				d, cfg.LogBimodalHyst, cfg.LogBimodal)
+		}
+		p := New(cfg) // must construct without panicking
+		if p.StorageBits() <= 0 {
+			t.Fatalf("delta %d: storage %d bits", d, p.StorageBits())
+		}
+	}
+	// The floor is a fixpoint: once saturated, scaling further down
+	// changes nothing but the name.
+	a, b := Scale(Reference(), -30), Scale(Reference(), -40)
+	a.Name, b.Name = "", ""
+	if New(a).StorageBits() != New(b).StorageBits() {
+		t.Fatal("saturated negative budgets must be identical")
+	}
+}
+
+// TestScaleExtremePositiveClamps: absurd positive deltaLogs saturate at
+// the ceiling instead of overflowing the log arithmetic or demanding
+// unconstructible tables. (No New here — a ceiling-sized predictor is
+// legitimately huge; the clamp is about arithmetic sanity.)
+func TestScaleExtremePositiveClamps(t *testing.T) {
+	for _, d := range []int{40, 1000, math.MaxInt32} {
+		cfg := Scale(Reference(), d)
+		for i, l := range cfg.TableLogs {
+			if l > maxScaledLog {
+				t.Fatalf("delta %d: table %d log %d above ceiling", d, i, l)
+			}
+		}
+		if cfg.LogBimodal > maxScaledLog {
+			t.Fatalf("delta %d: bimodal log %d above ceiling", d, cfg.LogBimodal)
+		}
+	}
+}
+
+// TestScaleWithinRangeIsExactShift: inside the clamps, every component
+// moves by exactly 2^deltaLog (the paper's protocol: no other parameter
+// is touched).
+func TestScaleWithinRangeIsExactShift(t *testing.T) {
+	ref := Reference()
+	for _, d := range []int{-4, -1, 1, 3} {
+		cfg := Scale(ref, d)
+		for i := range ref.TableLogs {
+			if int(cfg.TableLogs[i]) != int(ref.TableLogs[i])+d {
+				t.Fatalf("delta %+d: table %d log %d, want %d",
+					d, i, cfg.TableLogs[i], int(ref.TableLogs[i])+d)
+			}
+		}
+		if got, want := int(cfg.LogBimodal), 15+d; got != want {
+			t.Fatalf("delta %+d: bimodal log %d, want %d", d, got, want)
+		}
+		if cfg.MinHist != ref.MinHist || cfg.MaxHist != ref.MaxHist ||
+			len(cfg.TagBits) != len(ref.TagBits) {
+			t.Fatalf("delta %+d: non-size parameters changed", d)
+		}
+	}
+}
+
+// TestScaleNameFormatting: the scaled name always carries a signed
+// deltaLog suffix; an anonymous config stays anonymous.
+func TestScaleNameFormatting(t *testing.T) {
+	for _, tc := range []struct {
+		d    int
+		want string
+	}{{-4, "TAGE-ref-4"}, {0, "TAGE-ref+0"}, {3, "TAGE-ref+3"}} {
+		if got := Scale(Reference(), tc.d).Name; got != tc.want {
+			t.Errorf("Scale name at %+d = %q, want %q", tc.d, got, tc.want)
+		}
+	}
+	anon := Reference()
+	anon.Name = ""
+	if got := Scale(anon, 2).Name; got != "" {
+		t.Errorf("anonymous config gained name %q", got)
+	}
+}

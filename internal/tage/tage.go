@@ -122,29 +122,46 @@ func Reference() Config {
 	}
 }
 
+// Table-size clamps for Scale. The floors keep arbitrarily negative
+// deltaLogs from producing zero-size (or negative-log) tables; the
+// ceiling keeps arbitrarily positive ones from demanding tables beyond
+// any storage-study budget (2^30 entries per component is already 256x
+// the largest point of Figure 9). Within the clamps, scaling stays a
+// pure power-of-two shift of every component.
+const (
+	minScaledTableLog   = 6
+	minScaledBimodalLog = 8
+	maxScaledLog        = 30
+)
+
+func clampLog(l, min int) uint {
+	if l < min {
+		l = min
+	}
+	if l > maxScaledLog {
+		l = maxScaledLog
+	}
+	return uint(l)
+}
+
 // Scale returns cfg with every table size multiplied by 2^deltaLog
 // (bimodal included), the Figure 9 scaling protocol: "scaling the sizes of
 // all the components by a power of two, no attempt to optimize other
-// parameters".
+// parameters". Component sizes are clamped (see the clamp constants), so
+// any deltaLog yields a constructible predictor: extreme budgets
+// saturate instead of panicking or degenerating.
 func Scale(cfg Config, deltaLog int) Config {
 	out := cfg
 	out.TableLogs = make([]uint, len(cfg.TableLogs))
 	for i, l := range cfg.TableLogs {
-		nl := int(l) + deltaLog
-		if nl < 6 {
-			nl = 6
-		}
-		out.TableLogs[i] = uint(nl)
+		out.TableLogs[i] = clampLog(int(l)+deltaLog, minScaledTableLog)
 	}
 	if cfg.LogBimodal == 0 {
 		cfg.LogBimodal = 15
 	}
-	lb := int(cfg.LogBimodal) + deltaLog
-	if lb < 8 {
-		lb = 8
-	}
-	out.LogBimodal = uint(lb)
-	out.LogBimodalHyst = uint(lb - 2)
+	lb := clampLog(int(cfg.LogBimodal)+deltaLog, minScaledBimodalLog)
+	out.LogBimodal = lb
+	out.LogBimodalHyst = lb - 2
 	if cfg.Name != "" {
 		out.Name = fmt.Sprintf("%s%+d", cfg.Name, deltaLog)
 	}

@@ -21,6 +21,8 @@
 package repro
 
 import (
+	"fmt"
+
 	"repro/internal/composed"
 	"repro/internal/ftlpp"
 	"repro/internal/gehl"
@@ -193,6 +195,17 @@ func TAGELSCInterleaved() *Model {
 func ScaledTAGE(deltaLog int) *Model {
 	return newModel(func() predictor.Predictor[tage.Ctx] {
 		return tage.New(tage.Scale(tage.Reference(), deltaLog))
+	})
+}
+
+// ScaledTAGELSC returns TAGE-LSC with the TAGE component sizes scaled by
+// 2^deltaLog, the other half of the Figure 9 sweep; deltaLog 0 is the
+// 512Kbit budget match.
+func ScaledTAGELSC(deltaLog int) *Model {
+	return newModel(func() predictor.Predictor[composed.Ctx] {
+		return composed.New(composed.TAGELSC(
+			tage.Scale(composed.Budget512K(), deltaLog),
+			fmt.Sprintf("TAGE-LSC%+d", deltaLog)))
 	})
 }
 
