@@ -37,6 +37,11 @@ type (
 	BenchJob = harness.Job
 	// BenchResumePlan partitions an expanded grid against a prior store.
 	BenchResumePlan = harness.ResumePlan
+	// BenchProvenance records which code produced a store record (git
+	// SHA, dirty flag, toolchain, schema version).
+	BenchProvenance = harness.Provenance
+	// BenchCompactStats reports what a store compaction kept and dropped.
+	BenchCompactStats = harness.CompactStats
 )
 
 // ParseScenario maps a scenario flag value ("I", "A", "B", "C", case
@@ -168,9 +173,12 @@ func ExpandBench(m *BenchMatrix) ([]BenchJob, error) {
 
 // PlanBenchResume partitions an expanded grid against the records of a
 // prior store: cells with a successful prior record are reused, the rest
-// (missing or failed) are queued to run.
-func PlanBenchResume(jobs []BenchJob, prior []BenchRecord) *BenchResumePlan {
-	return harness.PlanResume(jobs, prior)
+// (missing or failed) are queued to run. head is the provenance new
+// records would be stamped with (CurrentProvenance for a persisted
+// store; the zero value disables the drift check): reused cells recorded
+// under a different git SHA are flagged in the plan's ProvenanceDrift.
+func PlanBenchResume(jobs []BenchJob, prior []BenchRecord, head BenchProvenance) *BenchResumePlan {
+	return harness.PlanResume(jobs, prior, head)
 }
 
 // RunBenchResume executes a resume plan, streaming only the records the
@@ -178,6 +186,18 @@ func PlanBenchResume(jobs []BenchJob, prior []BenchRecord) *BenchResumePlan {
 // the merged run) — the append half of the resumable result store.
 func RunBenchResume(plan *BenchResumePlan, cfg BenchConfig, sink BenchSink) (*BenchSummary, error) {
 	return harness.RunResume(plan, cfg, sink)
+}
+
+// RunBenchResumeStore runs the whole store-backed resume sequence
+// against the JSONL store at path: read (missing file = fresh store,
+// crash tail dropped and truncated), plan with cfg.Provenance as the
+// drift baseline, refuse on pipeline-config conflicts, execute the
+// missing cells and append their records. onPlan, when non-nil, sees
+// the plan before anything runs — surface ProvenanceDrift warnings
+// there, or veto with an error. Both `bpbench -resume` and the
+// experiments' ResultStore path are thin wrappers over this.
+func RunBenchResumeStore(path string, jobs []BenchJob, cfg BenchConfig, onPlan func(*BenchResumePlan) error) (*BenchSummary, error) {
+	return harness.ResumeStoreFile(path, jobs, cfg, onPlan)
 }
 
 // ReadBenchRecords parses a JSONL record stream (a saved bench run).
@@ -197,6 +217,34 @@ func ReadBenchRecordsFile(path string) ([]BenchRecord, error) {
 // truncate to before appending.
 func ReadBenchStoreFile(path string) ([]BenchRecord, int64, error) {
 	return harness.ReadStoreFile(path)
+}
+
+// CompactStore rewrites a store's records down to their canonical form:
+// one record per cell key in expansion order (newest success wins; a
+// never-succeeded key keeps its newest failure so resumes retry it),
+// stale aggregate sets replaced by a single set recomputed over the
+// surviving cells. Canonical records are preserved verbatim, so
+// resuming, diffing or perf-rendering the compacted store behaves
+// exactly like the original. cmd/bpbench's `compact` subcommand is a
+// thin wrapper over this.
+func CompactStore(recs []BenchRecord) ([]BenchRecord, BenchCompactStats) {
+	return harness.Compact(recs)
+}
+
+// StoreProvenance lists the distinct provenance blocks present in a
+// store, in first-appearance order; records written before provenance
+// stamping contribute a single zero block. One element means the whole
+// store came from one revision.
+func StoreProvenance(recs []BenchRecord) []BenchProvenance {
+	return harness.StoreProvenance(recs)
+}
+
+// CurrentProvenance is the provenance block a run started now would
+// stamp onto its records: HEAD's git SHA and dirty state (when a
+// repository is reachable), the Go toolchain, and the store schema
+// version.
+func CurrentProvenance() BenchProvenance {
+	return harness.CurrentProvenance()
 }
 
 // BenchDiff compares a fresh run against a baseline, cell by cell on

@@ -7,7 +7,8 @@
 //	bpbench -models tage -scenarios I,A,B,C -branches 200000,1000000
 //	bpbench -models tage -delta -4:3 -resume fig9.jsonl   # Figure 9 sweep
 //	bpbench -models tage -perf   # branches/sec table on stderr
-//	bpbench diff old.jsonl new.jsonl -tolerance 0.05
+//	bpbench compact store.jsonl -dry-run   # store lifecycle maintenance
+//	bpbench diff -provenance old.jsonl new.jsonl -tolerance 0.05
 //	bpbench -list
 //
 // -delta makes storage budget a matrix axis: each (scalable) model is
@@ -17,9 +18,17 @@
 // records are appended — an interrupted sweep continues instead of
 // restarting, and re-running a completed sweep executes nothing.
 //
+// Every record a run writes is stamped with provenance (git SHA, dirty
+// flag, Go version, schema version); resuming a store whose reused cells
+// were recorded under a different revision warns about the drift, and
+// `bpbench compact` rewrites a long-lived store down to its canonical
+// records — one per cell key, newest success wins, stale aggregate sets
+// replaced — without changing what any reader observes.
+//
 // In diff mode the exit status is non-zero when any cell's MPKI
 // regressed beyond the tolerance (or a cell newly fails), making bpbench
-// a drop-in CI gate for predictor changes.
+// a drop-in CI gate for predictor changes; -provenance adds a column
+// saying which revision produced each moved cell.
 package main
 
 import (
@@ -41,6 +50,9 @@ func main() {
 func run(args []string, stdout, stderr io.Writer) int {
 	if len(args) > 0 && args[0] == "diff" {
 		return runDiff(args[1:], stdout, stderr)
+	}
+	if len(args) > 0 && args[0] == "compact" {
+		return runCompact(args[1:], stdout, stderr)
 	}
 	fs := flag.NewFlagSet("bpbench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
@@ -102,7 +114,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	m.ExecDelay = *execDelay
 	m.DeltaLogs = deltas
 
-	cfg := repro.BenchConfig{Parallelism: *parallel, NoTraceCache: *noCache, NoAggregates: *noAgg}
+	// Every record bpbench writes — stdout, -o file, or resume store —
+	// is stamped with the revision that produced it, so saved runs stay
+	// interpretable after the predictor changes underneath them.
+	prov := repro.CurrentProvenance()
+	cfg := repro.BenchConfig{Parallelism: *parallel, NoTraceCache: *noCache, NoAggregates: *noAgg, Provenance: &prov}
 	if *resume != "" {
 		// The store is the output: format and destination are fixed.
 		if *outPath != "" {
@@ -168,36 +184,23 @@ func runResume(m *repro.BenchMatrix, cfg repro.BenchConfig, path string, perf bo
 		fmt.Fprintln(stderr, "bpbench: filters matched no cells")
 		return 2
 	}
-	prior, validLen, err := repro.ReadBenchStoreFile(path)
-	if err != nil && !os.IsNotExist(err) {
-		fmt.Fprintln(stderr, "bpbench:", err)
-		return 2
-	}
-	plan := repro.PlanBenchResume(jobs, prior)
-	if n := len(plan.ConfigConflicts); n > 0 {
-		fmt.Fprintf(stderr, "bpbench: store %s was built under a different pipeline configuration (%d cells); rerun with the original -window/-execdelay or use a fresh store\n", path, n)
-		fmt.Fprintln(stderr, "bpbench: first conflict:", plan.ConfigConflicts[0])
-		return 2
-	}
-
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
-	if err != nil {
-		fmt.Fprintln(stderr, "bpbench:", err)
-		return 2
-	}
-	defer f.Close()
-	// Drop the crash tail so the appended records extend a well-formed
-	// stream (with O_APPEND, writes land at the new end).
-	if err := f.Truncate(validLen); err != nil {
-		fmt.Fprintln(stderr, "bpbench:", err)
-		return 2
-	}
-	sink, err := repro.NewBenchSink("jsonl", f)
-	if err != nil {
-		fmt.Fprintln(stderr, "bpbench:", err)
-		return 2
-	}
-	sum, err := repro.RunBenchResume(plan, cfg, sink)
+	sum, err := repro.RunBenchResumeStore(path, jobs, cfg, func(plan *repro.BenchResumePlan) error {
+		// Drift is a warning, not a refusal: reusing the cells is the
+		// point of -resume, but the store now mixes revisions and
+		// cross-cell comparisons should say so (bpbench compact + a
+		// fresh sweep resets).
+		if n := len(plan.ProvenanceDrift); n > 0 {
+			fmt.Fprintf(stderr, "bpbench: warning: %d reused cells carry provenance that may not match HEAD:\n", n)
+			for i, w := range plan.ProvenanceDrift {
+				if i == 3 {
+					fmt.Fprintf(stderr, "bpbench:   ... and %d more\n", n-i)
+					break
+				}
+				fmt.Fprintln(stderr, "bpbench:  ", w)
+			}
+		}
+		return nil
+	})
 	if err != nil {
 		fmt.Fprintln(stderr, "bpbench:", err)
 		return 2
@@ -205,11 +208,116 @@ func runResume(m *repro.BenchMatrix, cfg repro.BenchConfig, path string, perf bo
 	fmt.Fprintf(stderr, "bpbench: resume %s: reused %d of %d cells, ran %d\n",
 		path, sum.Skipped, sum.Jobs, sum.Jobs-sum.Skipped)
 	if perf {
-		repro.RenderBenchPerf(stderr, repro.BenchPerfRows(sum.Records))
+		// The merged cell set, not the appended records: reused cells
+		// carry their preserved telemetry, so the table covers the whole
+		// grid even when the store was complete and nothing ran.
+		repro.RenderBenchPerf(stderr, repro.BenchPerfRows(sum.Merged))
 	}
 	if sum.Failed > 0 {
 		fmt.Fprintf(stderr, "bpbench: %d of %d jobs failed\n", sum.Failed, sum.Jobs-sum.Skipped)
 		return 1
+	}
+	return 0
+}
+
+// runCompact implements `bpbench compact store.jsonl [-o out.jsonl]
+// [-dry-run]`: rewrite an append-only result store down to its canonical
+// records (one per cell key, newest success wins, stale aggregate sets
+// replaced by one recomputed set) and report what was dropped. Without
+// -o the store is rewritten in place, atomically (write-then-rename), so
+// a crash mid-compact never loses the original. The reader tolerates a
+// crash tail the same way -resume does, so compacting a store whose last
+// writer was killed mid-line works (and drops the torn tail).
+func runCompact(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("bpbench compact", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		outPath = fs.String("o", "", "write the compacted store here instead of rewriting the input in place")
+		dryRun  = fs.Bool("dry-run", false, "report what compaction would keep and drop without writing anything")
+	)
+	usage := func() int {
+		fmt.Fprintln(stderr, "usage: bpbench compact [-o out.jsonl] [-dry-run] store.jsonl")
+		return 2
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() == 0 {
+		return usage()
+	}
+	store := fs.Arg(0)
+	// Accept flags after the store path too (`compact store.jsonl -dry-run`).
+	if err := fs.Parse(fs.Args()[1:]); err != nil {
+		return 2
+	}
+	if fs.NArg() > 0 {
+		return usage()
+	}
+
+	recs, _, err := repro.ReadBenchStoreFile(store)
+	if err != nil {
+		fmt.Fprintln(stderr, "bpbench:", err)
+		return 2
+	}
+	out, stats := repro.CompactStore(recs)
+	// The recomputed aggregate set can be larger than what the store held
+	// (a crash tore through the final aggregate block): account drops and
+	// repairs separately so neither count can ever print negative.
+	staleAggs, restored := stats.AggregatesIn-stats.AggregatesOut, 0
+	if staleAggs < 0 {
+		staleAggs, restored = 0, -staleAggs
+	}
+	repair := ""
+	if restored > 0 {
+		repair = fmt.Sprintf("; %d aggregate records restored by recompute", restored)
+	}
+	fmt.Fprintf(stderr,
+		"bpbench: compact %s: %d records in, %d out (%d dropped: %d superseded failures, %d duplicate cells, %d stale aggregates%s); %d distinct cells (%d still failed), aggregates %d -> %d\n",
+		store, stats.In, stats.Out, stats.SupersededFailed+stats.DuplicateCells+staleAggs,
+		stats.SupersededFailed, stats.DuplicateCells, staleAggs, repair,
+		stats.CellsOut, stats.FailedKept, stats.AggregatesIn, stats.AggregatesOut)
+	if prov := repro.StoreProvenance(recs); len(prov) > 1 {
+		fmt.Fprintf(stderr, "bpbench: note: store spans %d revisions\n", len(prov))
+	}
+	if *dryRun {
+		return 0
+	}
+
+	dest := *outPath
+	if dest == "" {
+		dest = store
+	}
+	tmp := dest + ".compact.tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		fmt.Fprintln(stderr, "bpbench:", err)
+		return 2
+	}
+	sink, err := repro.NewBenchSink("jsonl", f)
+	if err != nil {
+		f.Close()
+		os.Remove(tmp)
+		fmt.Fprintln(stderr, "bpbench:", err)
+		return 2
+	}
+	for _, r := range out {
+		if err == nil {
+			err = sink.Emit(r)
+		}
+	}
+	if cerr := sink.Close(); err == nil {
+		err = cerr
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(tmp, dest)
+	}
+	if err != nil {
+		os.Remove(tmp)
+		fmt.Fprintln(stderr, "bpbench:", err)
+		return 2
 	}
 	return 0
 }
@@ -219,14 +327,26 @@ func runDiff(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("bpbench diff", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		tolerance = fs.Float64("tolerance", 0.02, "relative MPKI increase tolerated before a cell counts as a regression")
-		absFloor  = fs.Float64("absfloor", 0.005, "absolute MPKI delta below which a cell never regresses")
+		tolerance  = fs.Float64("tolerance", 0.02, "relative MPKI increase tolerated before a cell counts as a regression")
+		absFloor   = fs.Float64("absfloor", 0.005, "absolute MPKI delta below which a cell never regresses")
+		provenance = fs.Bool("provenance", false, "show which git revision produced each side and each moved cell")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
-	if fs.NArg() != 2 {
-		fmt.Fprintln(stderr, "usage: bpbench diff [-tolerance t] [-absfloor a] old.jsonl new.jsonl")
+	// Accept flags before or after the two store paths (`bpbench diff
+	// old.jsonl new.jsonl -tolerance 0.05`): flag.Parse stops at the
+	// first positional, so consume positionals one at a time and
+	// re-parse what follows.
+	var paths []string
+	for fs.NArg() > 0 && len(paths) < 2 {
+		paths = append(paths, fs.Arg(0))
+		if err := fs.Parse(fs.Args()[1:]); err != nil {
+			return 2
+		}
+	}
+	if len(paths) != 2 || fs.NArg() > 0 {
+		fmt.Fprintln(stderr, "usage: bpbench diff [-tolerance t] [-absfloor a] [-provenance] old.jsonl new.jsonl")
 		return 2
 	}
 	// An explicit `-tolerance 0` / `-absfloor 0` means strict exact
@@ -241,11 +361,12 @@ func runDiff(args []string, stdout, stderr io.Writer) int {
 			opt.AbsFloor = -1
 		}
 	})
-	rep, err := repro.BenchDiffFiles(fs.Arg(0), fs.Arg(1), opt)
+	rep, err := repro.BenchDiffFiles(paths[0], paths[1], opt)
 	if err != nil {
 		fmt.Fprintln(stderr, "bpbench:", err)
 		return 2
 	}
+	rep.ShowProvenance = *provenance
 	rep.Render(stdout)
 	if rep.Cells == 0 {
 		// A baseline that parses to nothing (truncated file, disjoint

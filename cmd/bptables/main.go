@@ -25,9 +25,10 @@ func main() {
 	expFlag := flag.String("exp", "", "comma-separated experiment ids (default: all)")
 	branches := flag.Int("branches", 200000, "branches per trace")
 	markdown := flag.Bool("markdown", false, "emit markdown instead of text")
+	store := flag.String("store", "", "resumable JSONL result store for the harness-backed sweeps (E11): interrupted runs continue, complete ones re-render for free")
 	flag.Parse()
 
-	cfg := repro.ExperimentConfig{BranchesPerTrace: *branches}
+	cfg := repro.ExperimentConfig{BranchesPerTrace: *branches, ResultStore: *store}
 	ids := repro.ExperimentIDs()
 	if *expFlag != "" {
 		ids = strings.Split(*expFlag, ",")

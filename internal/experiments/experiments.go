@@ -31,6 +31,13 @@ type Config struct {
 	ExecDelay int
 	// Parallelism bounds concurrent trace simulations (default NumCPU).
 	Parallelism int
+	// ResultStore, when set, routes the harness-backed sweeps (E11's
+	// Figure 9 grid) through the resumable append-only result store at
+	// this path: cells already present are reused, only the missing or
+	// failed ones run, and appended records are stamped with provenance
+	// — so the most expensive experiment survives interruption and can
+	// be re-rendered for free. Empty keeps the in-memory behaviour.
+	ResultStore string
 }
 
 func (c Config) withDefaults() Config {
@@ -51,6 +58,46 @@ func (c Config) withDefaults() Config {
 
 func (c Config) simOptions(sc predictor.Scenario) sim.Options {
 	return sim.Options{Scenario: sc, Window: c.Window, ExecDelay: c.ExecDelay}
+}
+
+// runMatrix executes a harness matrix for an experiment and returns the
+// full record stream (cells in expansion order, then aggregates) plus
+// any provenance-drift notes. With cfg.ResultStore unset it is a plain
+// in-memory harness run; with it set, the sweep becomes resumable
+// exactly like `bpbench -resume` (the two share harness.ResumeStoreFile):
+// cells the store already holds are reused, only the rest execute, and
+// the new records — provenance-stamped — are appended. The returned
+// stream is the merged view either way, so callers render identical
+// reports from a fresh run, a partial resume, or a complete store;
+// reused cells recorded under a different git SHA than HEAD surface as
+// notes for the report rather than vanishing silently.
+func runMatrix(m *harness.Matrix, cfg Config) (recs []harness.Record, notes []string, err error) {
+	hcfg := harness.Config{Parallelism: cfg.Parallelism}
+	if cfg.ResultStore == "" {
+		sum, err := harness.Run(m, hcfg, harness.Discard)
+		if err != nil {
+			return nil, nil, err
+		}
+		return sum.Records, nil, nil
+	}
+	jobs, err := m.Expand()
+	if err != nil {
+		return nil, nil, err
+	}
+	prov := harness.CurrentProvenance()
+	hcfg.Provenance = &prov
+	sum, err := harness.ResumeStoreFile(cfg.ResultStore, jobs, hcfg, func(plan *harness.ResumePlan) error {
+		if n := len(plan.ProvenanceDrift); n > 0 {
+			notes = append(notes, fmt.Sprintf(
+				"store %s: %d reused cells carry provenance that may not match HEAD (first: %s)",
+				cfg.ResultStore, n, plan.ProvenanceDrift[0]))
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return append(append([]harness.Record(nil), sum.Merged...), harness.Aggregate(sum.Merged)...), notes, nil
 }
 
 // Row is one line of a report: a labelled paper-vs-measured pair.

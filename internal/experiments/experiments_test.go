@@ -2,10 +2,17 @@ package experiments
 
 import (
 	"bytes"
+	"path/filepath"
+	"reflect"
 	"strings"
+	"sync/atomic"
 	"testing"
 
+	"repro/internal/harness"
 	"repro/internal/predictor"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workload"
 )
 
 func TestRegistryCompleteAndOrdered(t *testing.T) {
@@ -136,5 +143,83 @@ func TestE15Fast(t *testing.T) {
 	}
 	if rep.ID != "E15" {
 		t.Fatalf("id = %s", rep.ID)
+	}
+}
+
+// TestRunMatrixResultStore covers the store path E11 runs through when
+// Config.ResultStore is set: the first invocation executes the grid and
+// persists provenance-stamped records; a second invocation reuses every
+// cell (zero simulator runs) and reassembles the identical record stream
+// from the store.
+func TestRunMatrixResultStore(t *testing.T) {
+	store := filepath.Join(t.TempDir(), "store.jsonl")
+	var runs atomic.Int64
+	model := harness.Model{Name: "m", Run: func(tr *trace.Trace, opt sim.Options) sim.Result {
+		runs.Add(1)
+		return sim.Result{
+			Trace: tr.Name, Category: tr.Category,
+			Window: sim.DefaultWindow, ExecDelay: sim.DefaultExecDelay,
+			Branches: uint64(len(tr.Branches)), MPKI: 2, MPPKI: 40,
+		}
+	}}
+	specs, err := workload.Select([]string{"INT01", "INT02"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := &harness.Matrix{
+		Models:    []harness.Model{model},
+		Traces:    specs,
+		Scenarios: []predictor.Scenario{predictor.ScenarioA},
+		Lengths:   []int{40},
+	}
+	cfg := Config{Parallelism: 2, ResultStore: store}
+
+	first, _, err := runMatrix(m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := runs.Load(); got != 2 {
+		t.Fatalf("first pass executed %d jobs, want 2", got)
+	}
+	stored, _, err := harness.ReadStoreFile(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range stored {
+		if r.Provenance == nil || r.Provenance.GitSHA == "" {
+			t.Fatalf("stored record %d carries no provenance SHA: %+v", i, r)
+		}
+	}
+
+	second, _, err := runMatrix(m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := runs.Load(); got != 2 {
+		t.Fatalf("second pass re-executed jobs: %d total runs", got)
+	}
+	clear := func(recs []harness.Record) []harness.Record {
+		out := append([]harness.Record(nil), recs...)
+		for i := range out {
+			out[i].ElapsedSec = 0
+			out[i].BranchesPerSec = 0
+		}
+		return out
+	}
+	if !reflect.DeepEqual(clear(first), clear(second)) {
+		t.Fatalf("store-backed rerun differs:\nfirst  %+v\nsecond %+v", clear(first), clear(second))
+	}
+
+	// The in-memory path returns the same measurement stream.
+	plain, _, err := runMatrix(m, Config{Parallelism: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := clear(plain), clear(second)
+	for i := range b {
+		b[i].Provenance = nil
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("store path diverges from in-memory path:\nmem   %+v\nstore %+v", a, b)
 	}
 }

@@ -239,17 +239,18 @@ func E11(cfg Config) Report {
 		Window:    cfg.Window,
 		ExecDelay: cfg.ExecDelay,
 	}
-	sum, err := harness.Run(m, harness.Config{Parallelism: cfg.Parallelism}, harness.Discard)
+	recs, storeNotes, err := runMatrix(m, cfg)
 	if err != nil {
 		r.check("harness sweep ran", false)
 		r.Notes = append(r.Notes, "sweep failed: "+err.Error())
 		return r
 	}
+	r.Notes = append(r.Notes, storeNotes...)
 	tageM := map[int]float64{}
 	lscM := map[int]float64{}
 	client02 := map[int]float64{}
 	suites := map[string]float64{}
-	for _, rec := range sum.Records {
+	for _, rec := range recs {
 		switch rec.Kind {
 		case harness.KindSuite:
 			suites[rec.Model] = rec.MPPKISum

@@ -1,0 +1,133 @@
+package harness
+
+// Store compaction. An append-only result store accumulates garbage as
+// it lives: failed cells whose retry later succeeded (the error record
+// stays in the stream), duplicate successes from overlapping sweeps,
+// and one aggregate set per completed run or resume — only the last of
+// which describes the store's current cell population. Compact rewrites
+// the record stream down to its canonical content without changing what
+// any reader observes: PlanResume, Diff and PerfRows all resolve a
+// compacted store exactly as they resolve the uncompacted one.
+
+// CompactStats reports what a compaction kept and dropped.
+type CompactStats struct {
+	// In and Out count all records (cells plus aggregates).
+	In, Out int
+	// CellsIn and CellsOut count cell records; CellsOut is also the
+	// number of distinct cell keys in the input.
+	CellsIn, CellsOut int
+	// SupersededFailed counts failed cell records dropped because a later
+	// record for the same key succeeded.
+	SupersededFailed int
+	// DuplicateCells counts the other dropped cell records: an older
+	// success shadowed by a newer one, an older failure shadowed by a
+	// newer failure, or a stale failure appended after a success.
+	DuplicateCells int
+	// FailedKept counts canonical records that are still failures (keys
+	// that never succeeded stay in the store so a resume retries them).
+	FailedKept int
+	// AggregatesIn counts aggregate records in the input (every completed
+	// run or resume appended one full set); AggregatesOut counts the
+	// single recomputed set in the output, or 0 when the input had none.
+	AggregatesIn, AggregatesOut int
+}
+
+// Dropped is the net record-count reduction.
+func (s CompactStats) Dropped() int { return s.In - s.Out }
+
+// Compact rewrites a store's records down to their canonical form:
+// exactly one record per cell key, in first-appearance (i.e. expansion)
+// order, resolving each key the way every reader already does — the
+// newest successful record wins; a key that never succeeded keeps its
+// newest failure so resumes still retry it. Stale aggregate sets are
+// dropped and, when the input carried aggregates at all, replaced by a
+// single set recomputed over the surviving cells (identical to the set
+// a completed run over those cells would have appended; a cell-only
+// store stays cell-only). Canonical cell records are preserved verbatim
+// — metrics, telemetry and provenance untouched — so compaction is safe
+// on live stores: resuming, diffing or perf-rendering the compacted
+// store is indistinguishable from using the original.
+//
+// Compact is idempotent and total: it never fails, never invents cell
+// keys, and compacting a compacted store returns it unchanged.
+func Compact(recs []Record) ([]Record, CompactStats) {
+	stats := CompactStats{In: len(recs)}
+	type slot struct {
+		rec Record
+		ok  bool // rec is a successful record
+	}
+	canon := make(map[string]*slot)
+	var order []string
+	for _, r := range recs {
+		switch r.Kind {
+		case KindCell, "":
+			stats.CellsIn++
+			key := r.Key()
+			s, seen := canon[key]
+			if !seen {
+				canon[key] = &slot{rec: r, ok: !r.Failed()}
+				order = append(order, key)
+				continue
+			}
+			switch {
+			case !r.Failed():
+				if s.ok {
+					stats.DuplicateCells++ // newer success shadows older
+				} else {
+					stats.SupersededFailed++ // the retry that worked
+				}
+				s.rec, s.ok = r, true
+			case s.ok:
+				stats.DuplicateCells++ // stale failure after a success
+			default:
+				stats.DuplicateCells++ // newer failure shadows older
+				s.rec = r
+			}
+		default:
+			stats.AggregatesIn++
+		}
+	}
+
+	out := make([]Record, 0, len(order))
+	for _, key := range order {
+		s := canon[key]
+		if s.rec.Failed() {
+			stats.FailedKept++
+		}
+		out = append(out, s.rec)
+	}
+	stats.CellsOut = len(out)
+	if stats.AggregatesIn > 0 {
+		aggs := Aggregate(out)
+		// Aggregates describe the surviving cells: when those all share
+		// one provenance block the recomputed set inherits it, so
+		// compacting a single-revision store cannot make it look
+		// multi-revision. Mixed-revision cells leave the aggregates
+		// unstamped — no single SHA would be true.
+		if p := uniformProvenance(out); p != nil {
+			for i := range aggs {
+				aggs[i].Provenance = p
+			}
+		}
+		stats.AggregatesOut = len(aggs)
+		out = append(out, aggs...)
+	}
+	stats.Out = len(out)
+	return out, stats
+}
+
+// uniformProvenance returns the provenance block shared by every record,
+// or nil when they disagree (or none carry one).
+func uniformProvenance(recs []Record) *Provenance {
+	var p *Provenance
+	for i, r := range recs {
+		if i == 0 {
+			p = r.Provenance
+			continue
+		}
+		if p == nil || r.Provenance == nil || *r.Provenance != *p {
+			return nil
+		}
+	}
+	return p
+}

@@ -1,0 +1,224 @@
+package harness
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/predictor"
+)
+
+// TestCompactCanonicalises pins the record-level semantics: newest
+// success wins a key, a failure superseded by a success is dropped, a
+// never-succeeded key keeps its newest failure, stale aggregate sets
+// collapse to one recomputed set, and cell order is first-appearance
+// (i.e. expansion) order.
+func TestCompactCanonicalises(t *testing.T) {
+	okA := cell("m", "INT01", "A", 40, 1.0)
+	okA.Window, okA.ExecDelay = 24, 6
+	failB := cell("m", "INT02", "A", 40, 0)
+	failB.Err = "panic: boom"
+	okB := cell("m", "INT02", "A", 40, 2.0)
+	okB.Window, okB.ExecDelay = 24, 6
+	okA2 := okA
+	okA2.MPKI = 1.5 // a newer overlapping sweep re-measured the cell
+	failC := cell("m", "INT03", "A", 40, 0)
+	failC.Err = "panic: first"
+	failC2 := cell("m", "INT03", "A", 40, 0)
+	failC2.Err = "panic: second"
+	staleAgg := Record{Kind: KindSuite, Model: "m", Scenario: "A", Branches: 40, Cells: 1}
+	freshAgg := Record{Kind: KindSuite, Model: "m", Scenario: "A", Branches: 40, Cells: 2}
+
+	in := []Record{okA, failB, staleAgg, okB, failC, okA2, failC2, freshAgg}
+	out, stats := Compact(in)
+
+	// Canonical cells in first-appearance order, then one aggregate set.
+	if stats.CellsOut != 3 || stats.FailedKept != 1 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	if out[0].Key() != okA.Key() || out[0].MPKI != 1.5 {
+		t.Fatalf("key A canonical = %+v (newest success must win)", out[0])
+	}
+	if out[1].Key() != okB.Key() || out[1].Failed() {
+		t.Fatalf("key B canonical = %+v (success must supersede failure)", out[1])
+	}
+	if !out[2].Failed() || out[2].Err != "panic: second" {
+		t.Fatalf("key C canonical = %+v (newest failure must be kept)", out[2])
+	}
+	if stats.SupersededFailed != 1 || stats.DuplicateCells != 2 {
+		t.Fatalf("drop breakdown = %+v", stats)
+	}
+	if stats.AggregatesIn != 2 {
+		t.Fatalf("aggregates in = %d, want 2", stats.AggregatesIn)
+	}
+	// The recomputed set covers the two successful cells.
+	aggs := out[stats.CellsOut:]
+	if len(aggs) != stats.AggregatesOut || len(aggs) == 0 {
+		t.Fatalf("aggregate tail = %d records, stats %+v", len(aggs), stats)
+	}
+	var suite *Record
+	for i := range aggs {
+		if aggs[i].Kind == KindSuite {
+			suite = &aggs[i]
+		}
+	}
+	if suite == nil || suite.Cells != 2 || suite.MPKI != (1.5+2.0)/2 {
+		t.Fatalf("recomputed suite = %+v", suite)
+	}
+	if stats.In != len(in) || stats.Out != len(out) || stats.Dropped() != len(in)-len(out) {
+		t.Fatalf("counting stats inconsistent: %+v", stats)
+	}
+}
+
+// TestCompactCellOnlyStoreStaysCellOnly: compaction must not invent an
+// aggregate set the writer never produced (-noaggregates stores, or a
+// run interrupted before its rollup).
+func TestCompactCellOnlyStoreStaysCellOnly(t *testing.T) {
+	in := []Record{cell("m", "INT01", "A", 40, 1), cell("m", "INT02", "A", 40, 2)}
+	out, stats := Compact(in)
+	if len(out) != 2 || stats.AggregatesOut != 0 {
+		t.Fatalf("cell-only store grew aggregates: %+v (stats %+v)", out, stats)
+	}
+	if !reflect.DeepEqual(out, in) {
+		t.Fatal("clean cell-only store must pass through verbatim")
+	}
+}
+
+// randomStore synthesises an adversarial record stream: duplicate keys,
+// interleaved failures, several aggregate sets, in random order of
+// appends — the population a long-lived multi-sweep store accumulates.
+func randomStore(rng *rand.Rand) []Record {
+	var recs []Record
+	models := []string{"m1", "m2"}
+	traces := []string{"INT01", "INT02", "MM05"}
+	n := rng.Intn(40)
+	for i := 0; i < n; i++ {
+		switch rng.Intn(10) {
+		case 0: // aggregate record
+			recs = append(recs, Record{
+				Kind:  []string{KindSuite, KindHard, KindCategory}[rng.Intn(3)],
+				Model: models[rng.Intn(len(models))], Scenario: "A",
+				Branches: 40, Cells: rng.Intn(4),
+			})
+		default:
+			r := cell(models[rng.Intn(len(models))], traces[rng.Intn(len(traces))], "A", 40, float64(rng.Intn(8)))
+			r.Window, r.ExecDelay = 24, 6
+			r.ElapsedSec = rng.Float64()
+			if rng.Intn(4) == 0 {
+				r = Record{Kind: KindCell, Model: r.Model, Trace: r.Trace,
+					Scenario: r.Scenario, Branches: r.Branches, Err: "panic: boom"}
+			}
+			recs = append(recs, r)
+		}
+	}
+	return recs
+}
+
+// TestCompactPropertyIdempotentAndClosed: over randomized stores,
+// Compact(Compact(s)) == Compact(s), output cell keys are a subset of
+// input cell keys with no duplicates, and the drop accounting adds up.
+func TestCompactPropertyIdempotentAndClosed(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for iter := 0; iter < 200; iter++ {
+		in := randomStore(rng)
+		out, stats := Compact(in)
+
+		again, stats2 := Compact(out)
+		if len(again)+len(out) > 0 && !reflect.DeepEqual(again, out) {
+			t.Fatalf("iter %d: compaction not idempotent:\nonce  %+v\nagain %+v", iter, out, again)
+		}
+		if stats2.Dropped() != 0 || stats2.SupersededFailed != 0 || stats2.DuplicateCells != 0 {
+			t.Fatalf("iter %d: second compaction still dropped records: %+v", iter, stats2)
+		}
+
+		inKeys := make(map[string]bool)
+		for _, r := range in {
+			if r.Kind == KindCell || r.Kind == "" {
+				inKeys[r.Key()] = true
+			}
+		}
+		seen := make(map[string]bool)
+		for _, r := range out {
+			if r.Kind != KindCell && r.Kind != "" {
+				continue
+			}
+			k := r.Key()
+			if !inKeys[k] {
+				t.Fatalf("iter %d: compaction invented cell key %s", iter, k)
+			}
+			if seen[k] {
+				t.Fatalf("iter %d: duplicate cell key %s survived compaction", iter, k)
+			}
+			seen[k] = true
+		}
+		if len(seen) != stats.CellsOut || len(seen) != len(inKeys) {
+			t.Fatalf("iter %d: %d distinct keys in, %d out (stats %+v)", iter, len(inKeys), len(seen), stats)
+		}
+		if stats.CellsIn-stats.CellsOut != stats.SupersededFailed+stats.DuplicateCells {
+			t.Fatalf("iter %d: cell drop accounting inconsistent: %+v", iter, stats)
+		}
+	}
+}
+
+// TestResumeAfterCompactMatchesUncompacted is the lifecycle property the
+// tentpole exists for: compacting an interrupted store changes nothing
+// about how the sweep completes. Resuming the compacted store executes
+// the same jobs and appends the same records (modulo wall-clock timing)
+// as resuming the original, and a compacted *complete* store plans zero
+// jobs.
+func TestResumeAfterCompactMatchesUncompacted(t *testing.T) {
+	models := []Model{fakeModel("m", flat(2))}
+	grid := testMatrix(t, models, []string{"INT01", "INT02", "MM05"},
+		[]predictor.Scenario{predictor.ScenarioA, predictor.ScenarioB}, []int{60})
+
+	full := &collectSink{}
+	if _, err := Run(grid, Config{Parallelism: 2}, full); err != nil {
+		t.Fatal(err)
+	}
+
+	// Interrupted store: 4 of 6 cells, one of them superseded garbage —
+	// a failed record for cell 1 followed by its successful retry.
+	failed := Record{Kind: KindCell, Model: "m", Trace: full.recs[1].Trace,
+		Scenario: full.recs[1].Scenario, Branches: 60, Err: "panic: transient"}
+	interrupted := []Record{full.recs[0], failed, full.recs[1], full.recs[2], full.recs[3]}
+
+	compacted, stats := Compact(interrupted)
+	if stats.SupersededFailed != 1 || len(compacted) != 4 {
+		t.Fatalf("compacted interrupted store: %d records, stats %+v", len(compacted), stats)
+	}
+
+	jobs, err := grid.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumeOn := func(prior []Record) []Record {
+		sinkOut := &collectSink{}
+		if _, err := RunResume(PlanResume(jobs, prior, Provenance{}), Config{Parallelism: 2}, sinkOut); err != nil {
+			t.Fatal(err)
+		}
+		out := append([]Record(nil), sinkOut.recs...)
+		for i := range out {
+			out[i].ElapsedSec = 0
+			out[i].BranchesPerSec = 0
+		}
+		return out
+	}
+	fromRaw := resumeOn(interrupted)
+	fromCompacted := resumeOn(compacted)
+	if !reflect.DeepEqual(fromRaw, fromCompacted) {
+		t.Fatalf("resume diverges after compaction:\nraw       %+v\ncompacted %+v", fromRaw, fromCompacted)
+	}
+
+	// A complete store, compacted, still plans zero jobs.
+	completeCompact, _ := Compact(full.recs)
+	plan := PlanResume(jobs, completeCompact, Provenance{})
+	if len(plan.Todo) != 0 || !plan.PriorHasAggregates {
+		t.Fatalf("compacted complete store must plan zero jobs: todo=%d aggs=%v",
+			len(plan.Todo), plan.PriorHasAggregates)
+	}
+	// And its recomputed aggregate set matches the one the uninterrupted
+	// run emitted (same cells, same order, same sums).
+	if !reflect.DeepEqual(completeCompact, full.recs) {
+		t.Fatalf("compacting a clean complete store must be a no-op:\ngot  %+v\nwant %+v", completeCompact, full.recs)
+	}
+}

@@ -46,6 +46,10 @@ type DiffCell struct {
 	// Delta is New-Old; RelDelta is Delta/Old (0 when Old is 0).
 	Delta    float64
 	RelDelta float64
+	// OldProv and NewProv are the short provenance renderings of the two
+	// records ("unknown" for records that predate provenance stamping),
+	// shown as a column when the report has ShowProvenance set.
+	OldProv, NewProv string
 }
 
 // DiffReport summarises a baseline comparison. Regressions and
@@ -66,6 +70,13 @@ type DiffReport struct {
 	ConfigMismatches []string
 	// FailedOld / FailedNew count error records per side.
 	FailedOld, FailedNew int
+	// OldProvenance / NewProvenance list the distinct provenance blocks
+	// of each side, in first-appearance order (see StoreProvenance).
+	OldProvenance, NewProvenance []Provenance
+	// ShowProvenance makes Render print the provenance summary line and
+	// a per-cell provenance column. It never affects the comparison
+	// itself: provenance, like timing, cannot regress a diff.
+	ShowProvenance bool
 }
 
 // HasRegressions reports whether the new run is worse than the
@@ -143,7 +154,12 @@ func Diff(old, new []Record, opt DiffOptions) *DiffReport {
 	opt = opt.withDefaults()
 	oldCells, oldAggs, failedOld := indexRecords(old)
 	newCells, newAggs, failedNew := indexRecords(new)
-	rep := &DiffReport{FailedOld: failedOld, FailedNew: failedNew}
+	rep := &DiffReport{
+		FailedOld:     failedOld,
+		FailedNew:     failedNew,
+		OldProvenance: StoreProvenance(old),
+		NewProvenance: StoreProvenance(new),
+	}
 
 	keys := make([]string, 0, len(oldCells))
 	for k := range oldCells {
@@ -163,7 +179,7 @@ func Diff(old, new []Record, opt DiffOptions) *DiffReport {
 				"%s: window/execdelay %d/%d vs %d/%d",
 				k, o.Window, o.ExecDelay, n.Window, n.ExecDelay))
 		}
-		c := compare(k, o.MPKI, n.MPKI)
+		c := compare(k, o, n)
 		threshold := opt.Tolerance * o.MPKI
 		if threshold < opt.AbsFloor {
 			threshold = opt.AbsFloor
@@ -193,7 +209,7 @@ func Diff(old, new []Record, opt DiffOptions) *DiffReport {
 	sort.Strings(aggKeys)
 	for _, k := range aggKeys {
 		if n, ok := newAggs[k]; ok {
-			rep.Aggregates = append(rep.Aggregates, compare(k, oldAggs[k].MPKI, n.MPKI))
+			rep.Aggregates = append(rep.Aggregates, compare(k, oldAggs[k], n))
 		}
 	}
 
@@ -214,26 +230,50 @@ func Diff(old, new []Record, opt DiffOptions) *DiffReport {
 	return rep
 }
 
-func compare(key string, old, new float64) DiffCell {
-	c := DiffCell{Key: key, Old: old, New: new, Delta: new - old}
-	if old != 0 {
-		c.RelDelta = c.Delta / old
+func compare(key string, old, new Record) DiffCell {
+	c := DiffCell{Key: key, Old: old.MPKI, New: new.MPKI, Delta: new.MPKI - old.MPKI}
+	if old.MPKI != 0 {
+		c.RelDelta = c.Delta / old.MPKI
 	}
+	c.OldProv, c.NewProv = provShort(old), provShort(new)
 	return c
 }
 
-// Render writes the human-readable diff report.
+func provShort(r Record) string {
+	if r.Provenance == nil {
+		return Provenance{}.Short()
+	}
+	return r.Provenance.Short()
+}
+
+// Render writes the human-readable diff report. With ShowProvenance set
+// it adds a store-level provenance summary and a per-cell provenance
+// column, so a reviewer can tell at a glance whether a movement compares
+// like against like or spans revisions.
 func (d *DiffReport) Render(w io.Writer) {
 	fmt.Fprintf(w, "compared %d cells: %d regressions, %d improvements\n",
 		d.Cells, len(d.Regressions), len(d.Improvements))
+	if d.ShowProvenance {
+		fmt.Fprintf(w, "provenance: baseline=%s new=%s\n",
+			describeProvenance(d.OldProvenance), describeProvenance(d.NewProvenance))
+	}
+	provCol := func(c DiffCell) string {
+		if !d.ShowProvenance {
+			return ""
+		}
+		if c.OldProv == c.NewProv {
+			return fmt.Sprintf("  [%s]", c.NewProv)
+		}
+		return fmt.Sprintf("  [%s -> %s]", c.OldProv, c.NewProv)
+	}
 	printCells := func(title string, cs []DiffCell) {
 		if len(cs) == 0 {
 			return
 		}
 		fmt.Fprintf(w, "%s:\n", title)
 		for _, c := range cs {
-			fmt.Fprintf(w, "  %-40s MPKI %8.4f -> %8.4f (%+.4f, %+.1f%%)\n",
-				c.Key, c.Old, c.New, c.Delta, 100*c.RelDelta)
+			fmt.Fprintf(w, "  %-40s MPKI %8.4f -> %8.4f (%+.4f, %+.1f%%)%s\n",
+				c.Key, c.Old, c.New, c.Delta, 100*c.RelDelta, provCol(c))
 		}
 	}
 	printCells("REGRESSIONS", d.Regressions)

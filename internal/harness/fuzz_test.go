@@ -1,0 +1,144 @@
+package harness
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// Fuzzing the store lifecycle. The append-only result store is the one
+// artifact that outlives any single process — it gets kill -9'd
+// mid-write, hand-edited, concatenated, and carried across predictor
+// revisions — so the reader and the compactor must be total: any byte
+// sequence either parses to a usable record set or fails loudly, and
+// never panics, loses a recoverable prefix, or invents data.
+//
+// Seed corpora live in testdata/fuzz/<Target>/ (the native Go corpus
+// layout); CI runs each target for a short wall-clock smoke on every
+// push, and `go test -fuzz` digs deeper locally.
+
+var fuzzGoodLine = []byte(`{"kind":"cell","model":"m","trace":"INT01","scenario":"A","branches":40,"window":24,"exec_delay":6,"mpki":1}` + "\n")
+
+// FuzzReadStoreFile: for arbitrary store bytes, ReadStoreFile must
+// never panic, and on success its contract must hold — the valid prefix
+// re-reads to the same records (truncating to validLen is lossless), and
+// the truncated store accepts an appended record, which is exactly the
+// sequence `bpbench -resume` performs after a crash.
+func FuzzReadStoreFile(f *testing.F) {
+	f.Add([]byte(""))
+	f.Add(fuzzGoodLine)
+	f.Add(append(append([]byte{}, fuzzGoodLine...), []byte(`{"kind":"cell","model":"m","tra`)...))
+	f.Add(append(append([]byte{}, fuzzGoodLine...), []byte("{garbage}\n")...))
+	f.Add([]byte("{garbage}\n" + string(fuzzGoodLine)))
+	f.Add([]byte("\n\n\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dir := t.TempDir()
+		path := filepath.Join(dir, "store.jsonl")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		recs, validLen, err := ReadStoreFile(path)
+		if err != nil {
+			return // rejected loudly: fine, as long as it didn't panic
+		}
+		if validLen < 0 || validLen > int64(len(data)) {
+			t.Fatalf("validLen %d outside [0, %d]", validLen, len(data))
+		}
+
+		// Crash recovery is truncate-to-validLen: the prefix must re-read
+		// to the identical record set with nothing further to drop.
+		if err := os.WriteFile(path, data[:validLen], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		recs2, valid2, err2 := ReadStoreFile(path)
+		if err2 != nil {
+			t.Fatalf("valid prefix failed to re-read: %v", err2)
+		}
+		if valid2 != validLen || len(recs2) != len(recs) {
+			t.Fatalf("prefix re-read: %d records / %d bytes, want %d / %d",
+				len(recs2), valid2, len(recs), validLen)
+		}
+
+		// And the truncated store must accept an append (the resume path).
+		appended := append(append([]byte{}, data[:validLen]...), fuzzGoodLine...)
+		if err := os.WriteFile(path, appended, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		recs3, valid3, err3 := ReadStoreFile(path)
+		if err3 != nil {
+			t.Fatalf("append after truncation broke the store: %v", err3)
+		}
+		if len(recs3) != len(recs)+1 || valid3 != int64(len(appended)) {
+			t.Fatalf("appended store: %d records / %d bytes, want %d / %d",
+				len(recs3), valid3, len(recs)+1, len(appended))
+		}
+	})
+}
+
+// FuzzCompact: for a record set parsed from arbitrary mutated JSONL,
+// Compact must never panic, never invent or duplicate cell keys, keep
+// its accounting consistent, and be idempotent.
+func FuzzCompact(f *testing.F) {
+	f.Add([]byte(""))
+	f.Add(fuzzGoodLine)
+	f.Add([]byte(`{"kind":"cell","model":"m","trace":"INT01","scenario":"A","branches":40,"error":"panic: boom"}` + "\n" + string(fuzzGoodLine) +
+		`{"kind":"suite","model":"m","scenario":"A","branches":40,"cells":1,"mpki":1}` + "\n"))
+	f.Add([]byte(`{"kind":"weird","model":"m"}` + "\n" + `{"kind":"cell"}` + "\n" + `{"kind":"cell"}` + "\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Lenient line-wise parse: fuzzed stores are mutated record
+		// streams, and compaction's guarantees must hold for whatever
+		// subset still parses.
+		var recs []Record
+		for _, line := range bytes.Split(data, []byte("\n")) {
+			if len(bytes.TrimSpace(line)) == 0 {
+				continue
+			}
+			var r Record
+			if json.Unmarshal(line, &r) == nil {
+				recs = append(recs, r)
+			}
+		}
+		out, stats := Compact(recs)
+
+		inKeys := make(map[string]bool)
+		cellsIn := 0
+		for _, r := range recs {
+			if r.Kind == KindCell || r.Kind == "" {
+				inKeys[r.Key()] = true
+				cellsIn++
+			}
+		}
+		seen := make(map[string]bool)
+		for _, r := range out {
+			if r.Kind != KindCell && r.Kind != "" {
+				continue
+			}
+			k := r.Key()
+			if !inKeys[k] {
+				t.Fatalf("compaction invented cell key %q", k)
+			}
+			if seen[k] {
+				t.Fatalf("duplicate cell key %q survived compaction", k)
+			}
+			seen[k] = true
+		}
+		if len(seen) != len(inKeys) {
+			t.Fatalf("compaction lost cell keys: %d in, %d out", len(inKeys), len(seen))
+		}
+		if stats.In != len(recs) || stats.Out != len(out) ||
+			stats.CellsIn != cellsIn || stats.CellsOut != len(seen) ||
+			stats.CellsIn-stats.CellsOut != stats.SupersededFailed+stats.DuplicateCells {
+			t.Fatalf("stats inconsistent: %+v (in %d, out %d)", stats, len(recs), len(out))
+		}
+
+		again, stats2 := Compact(out)
+		if stats2.Dropped() != 0 {
+			t.Fatalf("second compaction dropped %d records: %+v", stats2.Dropped(), stats2)
+		}
+		if len(again) != len(out) {
+			t.Fatalf("compaction not idempotent: %d then %d records", len(out), len(again))
+		}
+	})
+}

@@ -1,0 +1,244 @@
+package harness
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/predictor"
+)
+
+func TestCurrentProvenanceInRepo(t *testing.T) {
+	p := CurrentProvenance()
+	// The test binary runs inside this repository, so git metadata must
+	// resolve: this is the acceptance contract that every record a fresh
+	// run appends carries a non-empty SHA.
+	if p.GitSHA == "" {
+		t.Fatal("CurrentProvenance found no git SHA inside the repository")
+	}
+	if p.GoVersion == "" || p.Schema != SchemaVersion {
+		t.Fatalf("provenance = %+v", p)
+	}
+	if q := CurrentProvenance(); q != p {
+		t.Fatalf("CurrentProvenance not stable: %+v vs %+v", p, q)
+	}
+}
+
+func TestProvenanceShort(t *testing.T) {
+	cases := []struct {
+		p    Provenance
+		want string
+	}{
+		{Provenance{}, "unknown"},
+		{Provenance{GitSHA: "abc123"}, "abc123"},
+		{Provenance{GitSHA: "0123456789abcdef"}, "0123456789"},
+		{Provenance{GitSHA: "0123456789abcdef", GitDirty: true}, "0123456789+dirty"},
+	}
+	for _, tc := range cases {
+		if got := tc.p.Short(); got != tc.want {
+			t.Errorf("Short(%+v) = %q, want %q", tc.p, got, tc.want)
+		}
+	}
+	if !(Provenance{}).IsZero() || (Provenance{GoVersion: "go"}).IsZero() {
+		t.Fatal("IsZero misclassifies")
+	}
+}
+
+func TestStoreProvenanceDistinctInOrder(t *testing.T) {
+	a := &Provenance{GitSHA: "aaa", Schema: 2}
+	b := &Provenance{GitSHA: "bbb", Schema: 2}
+	recs := []Record{
+		{Kind: KindCell, Provenance: a},
+		{Kind: KindCell}, // pre-provenance record
+		{Kind: KindCell, Provenance: b},
+		{Kind: KindCell, Provenance: &Provenance{GitSHA: "aaa", Schema: 2}}, // dup of a
+	}
+	got := StoreProvenance(recs)
+	want := []Provenance{*a, {}, *b}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("StoreProvenance = %+v, want %+v", got, want)
+	}
+	if StoreProvenance(nil) != nil {
+		t.Fatal("empty store must report no provenance")
+	}
+}
+
+// TestRunStampsProvenance: with Config.Provenance set, every record a
+// run emits — cells, failures and aggregates — carries the block; the
+// zero Config leaves records unstamped (the deterministic in-memory
+// behaviour every pre-existing test relies on).
+func TestRunStampsProvenance(t *testing.T) {
+	m := testMatrix(t, []Model{fakeModel("m", flat(1))}, []string{"INT01", "INT02"},
+		[]predictor.Scenario{predictor.ScenarioA}, []int{40})
+	prov := Provenance{GitSHA: "feedface", GoVersion: "go-test", Schema: SchemaVersion}
+	sink := &collectSink{}
+	if _, err := Run(m, Config{Provenance: &prov}, sink); err != nil {
+		t.Fatal(err)
+	}
+	if len(sink.recs) == 0 {
+		t.Fatal("no records")
+	}
+	for i, r := range sink.recs {
+		if r.Provenance == nil || *r.Provenance != prov {
+			t.Fatalf("record %d (%s) not stamped: %+v", i, r.Kind, r.Provenance)
+		}
+	}
+
+	bare := &collectSink{}
+	if _, err := Run(m, Config{}, bare); err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range bare.recs {
+		if r.Provenance != nil {
+			t.Fatalf("record %d stamped without Config.Provenance: %+v", i, r.Provenance)
+		}
+	}
+}
+
+// TestResumeStampsFreshKeepsReused: a resume stamps the cells it
+// appends with the new head provenance while reused cells keep the
+// provenance they were recorded under — the merged view visibly spans
+// both revisions — and the appended aggregate set, rolled up over that
+// mixed population, carries no provenance at all (no single SHA would
+// be true of its inputs).
+func TestResumeStampsFreshKeepsReused(t *testing.T) {
+	old := Provenance{GitSHA: "oldsha000", Schema: SchemaVersion}
+	head := Provenance{GitSHA: "newsha111", Schema: SchemaVersion}
+	m := testMatrix(t, []Model{fakeModel("m", flat(1))}, []string{"INT01", "INT02"},
+		[]predictor.Scenario{predictor.ScenarioA}, []int{40})
+
+	first := &collectSink{}
+	if _, err := Run(m, Config{Provenance: &old}, first); err != nil {
+		t.Fatal(err)
+	}
+	jobs, err := m.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drop cell 1 and the aggregates: an interrupted store at revision "old".
+	interrupted := first.recs[:1]
+
+	plan := PlanResume(jobs, interrupted, head)
+	if len(plan.Todo) != 1 || len(plan.Reused) != 1 {
+		t.Fatalf("plan = %d todo, %d reused", len(plan.Todo), len(plan.Reused))
+	}
+	appended := &collectSink{}
+	sum, err := RunResume(plan, Config{Provenance: &head}, appended)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range appended.recs {
+		if r.Kind == KindCell {
+			if r.Provenance == nil || r.Provenance.GitSHA != head.GitSHA {
+				t.Fatalf("appended cell %d carries %+v, want head", i, r.Provenance)
+			}
+		} else if r.Provenance != nil {
+			t.Fatalf("aggregate %d over mixed-revision cells must be unstamped, got %+v", i, r.Provenance)
+		}
+	}
+	// The merged view keeps the reused cell's original stamp.
+	if got := sum.Merged[0].Provenance; got == nil || got.GitSHA != old.GitSHA {
+		t.Fatalf("reused cell provenance = %+v, want old", got)
+	}
+	if got := sum.Merged[1].Provenance; got == nil || got.GitSHA != head.GitSHA {
+		t.Fatalf("fresh cell provenance = %+v, want head", got)
+	}
+	if ps := StoreProvenance(sum.Merged); len(ps) != 2 {
+		t.Fatalf("merged store provenance = %+v, want two revisions", ps)
+	}
+}
+
+// TestPlanResumeProvenanceDrift: reused cells recorded under a different
+// SHA than head are flagged — but still reused, and a zero head (or a
+// pre-provenance store) disables the check.
+func TestPlanResumeProvenanceDrift(t *testing.T) {
+	old := Provenance{GitSHA: "oldsha000"}
+	m := testMatrix(t, []Model{fakeModel("m", flat(1))}, []string{"INT01"},
+		[]predictor.Scenario{predictor.ScenarioA}, []int{40})
+	first := &collectSink{}
+	if _, err := Run(m, Config{Provenance: &old}, first); err != nil {
+		t.Fatal(err)
+	}
+	jobs, err := m.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	plan := PlanResume(jobs, first.recs, Provenance{GitSHA: "newsha111"})
+	if len(plan.Reused) != 1 || len(plan.Todo) != 0 {
+		t.Fatalf("drift must not prevent reuse: %d reused, %d todo", len(plan.Reused), len(plan.Todo))
+	}
+	if len(plan.ProvenanceDrift) != 1 ||
+		!strings.Contains(plan.ProvenanceDrift[0], "oldsha000") ||
+		!strings.Contains(plan.ProvenanceDrift[0], "newsha111") {
+		t.Fatalf("drift = %v", plan.ProvenanceDrift)
+	}
+
+	// Same clean SHA: no drift.
+	if p := PlanResume(jobs, first.recs, old); len(p.ProvenanceDrift) != 0 {
+		t.Fatalf("same-revision resume reported drift: %v", p.ProvenanceDrift)
+	}
+	// Same SHA but a dirty tree on either side: the SHA no longer
+	// identifies the code, so the dev loop's edit-without-commit case
+	// still warns.
+	dirtyHead := Provenance{GitSHA: "oldsha000", GitDirty: true}
+	p := PlanResume(jobs, first.recs, dirtyHead)
+	if len(p.ProvenanceDrift) != 1 || !strings.Contains(p.ProvenanceDrift[0], "uncommitted changes") {
+		t.Fatalf("dirty head at same SHA must warn: %v", p.ProvenanceDrift)
+	}
+	// Zero head: check disabled.
+	if p := PlanResume(jobs, first.recs, Provenance{}); len(p.ProvenanceDrift) != 0 {
+		t.Fatalf("zero head must disable the drift check: %v", p.ProvenanceDrift)
+	}
+	// Pre-provenance store: nothing to compare against.
+	bare := &collectSink{}
+	if _, err := Run(m, Config{}, bare); err != nil {
+		t.Fatal(err)
+	}
+	if p := PlanResume(jobs, bare.recs, Provenance{GitSHA: "newsha111"}); len(p.ProvenanceDrift) != 0 {
+		t.Fatalf("unstamped store must not report drift: %v", p.ProvenanceDrift)
+	}
+}
+
+// TestDiffProvenanceColumn: the diff carries both sides' provenance and
+// renders it only when asked, so existing report output is unchanged.
+func TestDiffProvenanceColumn(t *testing.T) {
+	oldProv := &Provenance{GitSHA: "oldsha0000000", Schema: SchemaVersion}
+	newProv := &Provenance{GitSHA: "newsha1111111", GitDirty: true, Schema: SchemaVersion}
+	mk := func(p *Provenance, mpki float64) []Record {
+		r := cell("tage", "INT01", "A", 1000, mpki)
+		r.Provenance = p
+		return []Record{r}
+	}
+	rep := Diff(mk(oldProv, 10), mk(newProv, 20), DiffOptions{})
+	if len(rep.Regressions) != 1 {
+		t.Fatalf("report = %+v", rep)
+	}
+	reg := rep.Regressions[0]
+	if reg.OldProv != "oldsha0000" || reg.NewProv != "newsha1111+dirty" {
+		t.Fatalf("cell provenance = %q -> %q", reg.OldProv, reg.NewProv)
+	}
+	if len(rep.OldProvenance) != 1 || len(rep.NewProvenance) != 1 {
+		t.Fatalf("store provenance = %+v / %+v", rep.OldProvenance, rep.NewProvenance)
+	}
+
+	var plain, verbose bytes.Buffer
+	rep.Render(&plain)
+	rep.ShowProvenance = true
+	rep.Render(&verbose)
+	if strings.Contains(plain.String(), "oldsha") {
+		t.Fatalf("provenance leaked into the default report:\n%s", plain.String())
+	}
+	for _, want := range []string{"provenance: baseline=[oldsha0000] new=[newsha1111+dirty]", "[oldsha0000 -> newsha1111+dirty]"} {
+		if !strings.Contains(verbose.String(), want) {
+			t.Fatalf("verbose report missing %q:\n%s", want, verbose.String())
+		}
+	}
+
+	// Provenance differences alone never move a diff.
+	same := Diff(mk(oldProv, 10), mk(newProv, 10), DiffOptions{})
+	if same.HasRegressions() || len(same.Improvements) > 0 {
+		t.Fatalf("provenance-only change moved the diff: %+v", same)
+	}
+}

@@ -66,6 +66,15 @@ type Record struct {
 	Cells int `json:"cells,omitempty"`
 	// Err is set (and the metric fields zero) when the job panicked.
 	Err string `json:"error,omitempty"`
+
+	// Provenance says which code produced the record: git SHA, dirty
+	// flag, toolchain, schema version, stamped at run time on every
+	// record a run appends (see Config.Provenance). Nil on records from
+	// stores written before provenance stamping existed. Like the timing
+	// telemetry, it is deliberately ignored by Diff's regression logic —
+	// a store is allowed to span revisions; PlanResume surfaces the
+	// drift as warnings instead.
+	Provenance *Provenance `json:"provenance,omitempty"`
 }
 
 // Failed reports whether the record describes a failed job.

@@ -73,6 +73,18 @@ type ResumePlan struct {
 	// measure — and callers should surface the conflict rather than let a
 	// sweep ping-pong between configurations in the same store.
 	ConfigConflicts []string
+	// ProvenanceDrift lists reused cells whose recorded revision cannot
+	// be trusted to match the head provenance the plan was built
+	// against: a different git SHA, or uncommitted changes on either
+	// side of the same SHA (a dirty measurement is unreproducible from
+	// its SHA alone, and a dirty HEAD may no longer be the tree that
+	// produced it). Unlike ConfigConflicts these are warnings, not
+	// refusals — the cells are still reused (re-running them is exactly
+	// what -resume avoids) — but a caller comparing across the store
+	// should know it now spans revisions. Empty when planning with a
+	// zero-SHA head (in-memory runs) or when the store predates
+	// provenance stamping.
+	ProvenanceDrift []string
 }
 
 // PlanResume builds the resume plan for jobs against prior records. A
@@ -83,7 +95,12 @@ type ResumePlan struct {
 // records stay in the append-only store — the newest record for a key
 // wins on read). Prior records whose keys the matrix does not expand to
 // are ignored, so one store can accumulate several overlapping sweeps.
-func PlanResume(jobs []Job, prior []Record) *ResumePlan {
+//
+// head is the provenance the new records would be stamped with
+// (CurrentProvenance for a persisted store); a reused cell recorded
+// under a different git SHA is flagged in ProvenanceDrift. A zero head
+// disables the drift check.
+func PlanResume(jobs []Job, prior []Record, head Provenance) *ResumePlan {
 	plan := &ResumePlan{Jobs: jobs, Reused: make(map[string]Record)}
 	ok := make(map[string]Record)
 	for _, r := range prior {
@@ -104,6 +121,9 @@ func PlanResume(jobs []Job, prior []Record) *ResumePlan {
 					"%s: stored window/execdelay %d/%d, requested %d/%d",
 					key, r.Window, r.ExecDelay, wantW, wantD))
 			} else {
+				if w := driftWarning(key, r.Provenance, head); w != "" {
+					plan.ProvenanceDrift = append(plan.ProvenanceDrift, w)
+				}
 				plan.Reused[key] = r
 				continue
 			}
@@ -111,6 +131,26 @@ func PlanResume(jobs []Job, prior []Record) *ResumePlan {
 		plan.Todo = append(plan.Todo, j)
 	}
 	return plan
+}
+
+// driftWarning describes why a reused record's provenance cannot be
+// trusted against head, or returns "" when it can (or when either side
+// carries no SHA to compare).
+func driftWarning(key string, p *Provenance, head Provenance) string {
+	if head.GitSHA == "" || p == nil || p.GitSHA == "" {
+		return ""
+	}
+	switch {
+	case p.GitSHA != head.GitSHA:
+		return fmt.Sprintf("%s: recorded at %s, HEAD is %s", key, p.Short(), head.Short())
+	case p.GitDirty || head.GitDirty:
+		// Same SHA, but a dirty tree on either side: the SHA alone no
+		// longer identifies the code, so the measurement may not match
+		// the current tree even though the commits agree.
+		return fmt.Sprintf("%s: recorded at %s, HEAD is %s (uncommitted changes in play)",
+			key, p.Short(), head.Short())
+	}
+	return ""
 }
 
 // effectivePipeline resolves the job's pipeline options the way the
@@ -125,6 +165,49 @@ func effectivePipeline(j Job) (window, execDelay int) {
 		execDelay = sim.DefaultExecDelay
 	}
 	return window, execDelay
+}
+
+// ResumeStoreFile is the complete store-backed resume sequence shared
+// by `bpbench -resume` and the experiments' ResultStore path: read the
+// store at path (a missing file starts a fresh one; a crash tail from a
+// killed writer is dropped and truncated away before appending), plan
+// jobs against it with cfg.Provenance as the drift baseline, refuse on
+// pipeline-config conflicts (mixing pipeline models in one store would
+// silently change what its aggregates measure), then execute the plan
+// appending JSONL records to the store. onPlan, when non-nil, observes
+// the plan after the conflict check and before anything runs — the
+// place to surface ProvenanceDrift warnings — and may veto the run by
+// returning an error.
+func ResumeStoreFile(path string, jobs []Job, cfg Config, onPlan func(*ResumePlan) error) (*Summary, error) {
+	var head Provenance
+	if cfg.Provenance != nil {
+		head = *cfg.Provenance
+	}
+	prior, validLen, err := ReadStoreFile(path)
+	if err != nil && !os.IsNotExist(err) {
+		return nil, err
+	}
+	plan := PlanResume(jobs, prior, head)
+	if n := len(plan.ConfigConflicts); n > 0 {
+		return nil, fmt.Errorf("store %s was built under a different pipeline configuration (%d cells; first: %s); rerun with the original window/execdelay or use a fresh store",
+			path, n, plan.ConfigConflicts[0])
+	}
+	if onPlan != nil {
+		if err := onPlan(plan); err != nil {
+			return nil, err
+		}
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	// Drop the crash tail so the appended records extend a well-formed
+	// stream (with O_APPEND, writes land at the new end).
+	if err := f.Truncate(validLen); err != nil {
+		return nil, err
+	}
+	return RunResume(plan, cfg, NewJSONLSink(f))
 }
 
 // RunResume executes only the plan's Todo jobs, streaming the new cell
@@ -144,19 +227,32 @@ func RunResume(plan *ResumePlan, cfg Config, sink Sink) (*Summary, error) {
 		}
 		emit(r)
 	})
+	// The merged cell set — reused records (preserved telemetry and
+	// provenance) interleaved with fresh ones at their expansion
+	// positions — is always assembled: it feeds the appended aggregates
+	// and, via Summary.Merged, the resume-aware perf table even when the
+	// store was complete and nothing is appended at all.
+	merged := make([]Record, 0, len(plan.Jobs))
+	next := 0
+	for _, j := range plan.Jobs {
+		if r, have := plan.Reused[j.Key()]; have {
+			merged = append(merged, r)
+		} else {
+			merged = append(merged, fresh[next])
+			next++
+		}
+	}
+	sum.Merged = merged
 	emitAggs := len(plan.Todo) > 0 || !plan.PriorHasAggregates
 	if *emitErr == nil && !cfg.NoAggregates && emitAggs {
-		merged := make([]Record, 0, len(plan.Jobs))
-		next := 0
-		for _, j := range plan.Jobs {
-			if r, have := plan.Reused[j.Key()]; have {
-				merged = append(merged, r)
-			} else {
-				merged = append(merged, fresh[next])
-				next++
-			}
-		}
+		// The appended aggregates roll up the merged cells, which may
+		// span revisions (reused cells keep their original stamps): they
+		// inherit a provenance block only when every input shares it —
+		// the same rule Compact applies — so no aggregate is ever
+		// attributed to a revision that didn't produce its inputs.
+		aggProv := uniformProvenance(merged)
 		for _, agg := range Aggregate(merged) {
+			agg.Provenance = aggProv
 			emit(agg)
 		}
 	}

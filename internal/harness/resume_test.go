@@ -41,7 +41,7 @@ func TestPlanResumePartitions(t *testing.T) {
 	}
 
 	// Empty store: everything is todo.
-	plan := PlanResume(jobs, nil)
+	plan := PlanResume(jobs, nil, Provenance{})
 	if len(plan.Todo) != 6 || len(plan.Reused) != 0 || plan.PriorHasAggregates {
 		t.Fatalf("empty-store plan: %d todo, %d reused", len(plan.Todo), len(plan.Reused))
 	}
@@ -54,7 +54,7 @@ func TestPlanResumePartitions(t *testing.T) {
 		{Kind: KindCell, Model: "m", Trace: jobs[2].Spec.Name, Scenario: jobs[2].Scenario.Letter(), Branches: 60, Window: 24, ExecDelay: 6, MPKI: 1},
 		{Kind: KindCell, Model: "other", Trace: "INT01", Scenario: "A", Branches: 60, Window: 24, ExecDelay: 6, MPKI: 9},
 	}
-	plan = PlanResume(jobs, prior)
+	plan = PlanResume(jobs, prior, Provenance{})
 	if len(plan.Reused) != 2 {
 		t.Fatalf("reused %d cells, want 2", len(plan.Reused))
 	}
@@ -75,7 +75,7 @@ func TestPlanResumePartitions(t *testing.T) {
 		Record{Kind: KindCell, Model: "m", Trace: jobs[1].Spec.Name, Scenario: jobs[1].Scenario.Letter(), Branches: 60, Window: 24, ExecDelay: 6, MPKI: 1},
 		Record{Kind: KindSuite, Model: "m", Scenario: "A", Branches: 60, Cells: 3},
 	)
-	plan = PlanResume(jobs, prior)
+	plan = PlanResume(jobs, prior, Provenance{})
 	if len(plan.Reused) != 3 || len(plan.Todo) != 3 {
 		t.Fatalf("after supersede: reused %d todo %d, want 3/3", len(plan.Reused), len(plan.Todo))
 	}
@@ -110,7 +110,7 @@ func TestResumeContinuesInterruptedRun(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	plan := PlanResume(jobs, truncated)
+	plan := PlanResume(jobs, truncated, Provenance{})
 	appended := &collectSink{}
 	sum, err := RunResume(plan, Config{Parallelism: 2}, appended)
 	if err != nil {
@@ -145,7 +145,7 @@ func TestResumeContinuesInterruptedRun(t *testing.T) {
 		t.Fatal(err)
 	}
 	again := &collectSink{}
-	sum, err = RunResume(PlanResume(jobs3, store), Config{}, again)
+	sum, err = RunResume(PlanResume(jobs3, store, Provenance{}), Config{}, again)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -188,7 +188,7 @@ func TestResumeRerunsFailedCells(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	plan := PlanResume(jobs, first.recs)
+	plan := PlanResume(jobs, first.recs, Provenance{})
 	if len(plan.Todo) != 1 || plan.Todo[0].Spec.Name != "INT02" {
 		t.Fatalf("plan must retry exactly the failed cell, todo=%+v", plan.Todo)
 	}
@@ -205,7 +205,7 @@ func TestResumeRerunsFailedCells(t *testing.T) {
 	}
 	// The merged store now resolves the key to the successful record.
 	store := append(append([]Record(nil), first.recs...), appended.recs...)
-	finalPlan := PlanResume(jobs, store)
+	finalPlan := PlanResume(jobs, store, Provenance{})
 	if len(finalPlan.Todo) != 0 {
 		t.Fatalf("store still has todo after retry: %+v", finalPlan.Todo)
 	}
@@ -227,7 +227,7 @@ func TestResumeGrownMatrix(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	plan := PlanResume(jobs, first.recs)
+	plan := PlanResume(jobs, first.recs, Provenance{})
 	if !plan.PriorHasAggregates || len(plan.Todo) != 1 {
 		t.Fatalf("plan = todo %d, aggs %v", len(plan.Todo), plan.PriorHasAggregates)
 	}
@@ -262,7 +262,7 @@ func TestPlanResumeConfigMismatch(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	plan := PlanResume(jobs, first.recs)
+	plan := PlanResume(jobs, first.recs, Provenance{})
 	if len(plan.Reused) != 0 || len(plan.Todo) != 1 {
 		t.Fatalf("mismatched config must not reuse: %d reused, %d todo", len(plan.Reused), len(plan.Todo))
 	}
@@ -276,7 +276,7 @@ func TestPlanResumeConfigMismatch(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	plan = PlanResume(jobs, first.recs)
+	plan = PlanResume(jobs, first.recs, Provenance{})
 	if len(plan.Reused) != 1 || len(plan.ConfigConflicts) != 0 {
 		t.Fatalf("explicit-default config must reuse: %+v", plan)
 	}
@@ -333,7 +333,7 @@ func TestRunResumeSinkFailureStillCloses(t *testing.T) {
 		t.Fatal(err)
 	}
 	sink := &failingSink{after: 1}
-	_, err = RunResume(PlanResume(jobs, nil), Config{Parallelism: 2}, sink)
+	_, err = RunResume(PlanResume(jobs, nil, Provenance{}), Config{Parallelism: 2}, sink)
 	if err == nil || !strings.Contains(err.Error(), "sink full") {
 		t.Fatalf("emit failure must surface, got %v", err)
 	}

@@ -22,6 +22,13 @@ type Config struct {
 	NoTraceCache bool
 	// NoAggregates suppresses the category/hard/suite rollup records.
 	NoAggregates bool
+	// Provenance, when non-nil, is stamped onto every record the run
+	// produces (cells and aggregates alike), so an appended store line
+	// always says which code wrote it. Callers that persist records
+	// should pass CurrentProvenance; nil leaves records unstamped (the
+	// pre-provenance behaviour, and what deterministic in-memory tests
+	// want).
+	Provenance *Provenance
 }
 
 func (c Config) workers() int {
@@ -41,6 +48,13 @@ type Summary struct {
 	Skipped int
 	Failed  int
 	Records []Record // every record emitted, in emission order
+	// Merged is the run's complete cell set in expansion order — fresh
+	// records plus, on a resume, the reused ones with their preserved
+	// telemetry — regardless of what was emitted. It is what a
+	// resume-aware perf table renders: PerfRows(sum.Merged) covers every
+	// cell of the grid even when the store was already complete and the
+	// run appended nothing.
+	Merged []Record
 }
 
 // traceCache memoises workload generation per (benchmark, length). Each
@@ -92,8 +106,12 @@ func RunJobs(jobs []Job, cfg Config, sink Sink) (*Summary, error) {
 		}
 		emit(r)
 	})
+	sum.Merged = results
 	if *emitErr == nil && !cfg.NoAggregates {
 		for _, agg := range Aggregate(results) {
+			// Every cell of a single run carries cfg.Provenance, so the
+			// rollups over them truthfully do too.
+			agg.Provenance = cfg.Provenance
 			emit(agg)
 		}
 	}
@@ -128,6 +146,9 @@ func executeJobs(jobs []Job, cfg Config, visit func(Record)) []Record {
 		if err != nil {
 			res = failedRecord(j, err)
 		}
+		if cfg.Provenance != nil {
+			res.Provenance = cfg.Provenance
+		}
 		results[i] = res
 	})
 
@@ -140,7 +161,8 @@ func executeJobs(jobs []Job, cfg Config, visit func(Record)) []Record {
 
 // emitter wraps a sink for the run loops: a sink failure mid-stream must
 // not strand the worker pool or skip Close, so emit stops forwarding on
-// the first error (returned via the pointer) while callers keep draining.
+// the first error (returned via the pointer) while callers keep
+// draining.
 func emitter(sum *Summary, sink Sink) (emit func(Record), emitErr *error) {
 	var err error
 	return func(r Record) {

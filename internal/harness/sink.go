@@ -61,10 +61,15 @@ func (s *csvSink) Emit(r Record) error {
 			"mpki", "mppki", "mpki_sum", "mppki_sum", "mispredicts",
 			"misprediction_rate",
 			"sim_branches", "elapsed_sec", "branches_per_sec",
-			"cells", "error",
+			"cells", "error", "git_sha", "git_dirty",
 		}); err != nil {
 			return err
 		}
+	}
+	var sha string
+	var dirty bool
+	if r.Provenance != nil {
+		sha, dirty = r.Provenance.GitSHA, r.Provenance.GitDirty
 	}
 	return s.w.Write([]string{
 		r.Kind, r.Model, r.Trace, r.Category, r.Scenario,
@@ -78,6 +83,7 @@ func (s *csvSink) Emit(r Record) error {
 		strconv.FormatUint(r.SimBranches, 10),
 		formatFloat(r.ElapsedSec), formatFloat(r.BranchesPerSec),
 		strconv.Itoa(r.Cells), r.Err,
+		sha, strconv.FormatBool(dirty),
 	})
 }
 
