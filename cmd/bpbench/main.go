@@ -4,19 +4,32 @@
 // sink. A saved JSONL run doubles as a baseline for regression diffing:
 //
 //	bpbench -models tage,gshare -scenarios A,C -traces 'INT*' -format jsonl
-//	bpbench -models tage -scenarios I,A,B,C -branches 200000,1000000
+//	bpbench -models 'tage:tables=9,hist=6:500' -scenarios I,A,B,C
+//	bpbench -models 'tage:tables=13' -sweep tables=9:13   # design-space axis
 //	bpbench -models tage -delta -4:3 -resume fig9.jsonl   # Figure 9 sweep
 //	bpbench -models tage -perf   # branches/sec table on stderr
 //	bpbench compact store.jsonl -dry-run   # store lifecycle maintenance
+//	bpbench compact store.jsonl -prune-drift   # drop cells from other SHAs
 //	bpbench diff -provenance old.jsonl new.jsonl -tolerance 0.05
 //	bpbench -list
+//
+// -models accepts model specs — named models ("tage-lsc") or any
+// parameterised configuration ("gshare:log=20",
+// "composed:tage+ium+lsc,tables=10") — and every cell key and store
+// record carries the canonical spec string, so an arbitrary point of the
+// design space is as resumable and diffable as the named nine. -sweep
+// expands one spec field across a value range ("tables=9:13" or
+// "hist=6:500,6:2000"), turning a predictor parameter into a matrix
+// axis — the Figure 5-style history/table-count studies.
 //
 // -delta makes storage budget a matrix axis: each (scalable) model is
 // swept across 2^deltaLog budgets, one cell per budget. -resume treats a
 // JSONL file as an append-only result store: cells already present (with
 // no error) are skipped, failed and missing cells run, and only the new
 // records are appended — an interrupted sweep continues instead of
-// restarting, and re-running a completed sweep executes nothing.
+// restarting, and re-running a completed sweep executes nothing. The
+// store is held under an advisory lock while a resume appends, so a
+// concurrent resume of the same store fails fast instead of interleaving.
 //
 // Every record a run writes is stamped with provenance (git SHA, dirty
 // flag, Go version, schema version); resuming a store whose reused cells
@@ -57,7 +70,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("bpbench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		models    = fs.String("models", "tage", "comma-separated model identifiers (see -list)")
+		models    = fs.String("models", "tage", "comma-separated model specs: named models or kind:key=value,... configurations (see -list)")
+		sweep     = fs.String("sweep", "", "expand a spec field into a matrix axis: key=lo:hi (inclusive int range) or key=v1,v2,..., applied to every -models spec")
 		scenarios = fs.String("scenarios", "A", "comma-separated update scenarii: I, A, B, C")
 		traces    = fs.String("traces", "", "comma-separated trace-name globs, e.g. 'INT*,MM05' (default: all 40)")
 		branches  = fs.String("branches", "200000", "comma-separated branches-per-trace lengths")
@@ -84,7 +98,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if *list {
 		fmt.Fprintln(stdout, "models: ", strings.Join(repro.ModelNames(), " "))
-		fmt.Fprintln(stdout, "scalable (-delta): ", strings.Join(repro.ScalableModelNames(), " "))
+		fmt.Fprintln(stdout, "spec kinds: ", strings.Join(repro.SpecKinds(), " "), " (e.g. 'tage:tables=9,hist=6:500', 'composed:tage+ium+lsc')")
+		fmt.Fprintln(stdout, "scalable (-delta): ", strings.Join(repro.ScalableModelNames(), " "), " plus every kind: spec")
 		fmt.Fprintln(stdout, "traces: ", strings.Join(repro.TraceNames(), " "))
 		return 0
 	}
@@ -103,7 +118,33 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "bpbench:", err)
 		return 2
 	}
-	m, err := repro.NewBenchMatrix(splitList(*models), splitList(*traces), *scenarios, lengths)
+	// Spec-aware split: commas separate models only where a new spec
+	// starts, so multi-field specs ride in one -models value.
+	modelSpecs := repro.SplitSpecList(*models)
+	if *sweep != "" {
+		key, values, err := parseSweep(*sweep)
+		if err != nil {
+			fmt.Fprintln(stderr, "bpbench:", err)
+			return 2
+		}
+		if modelSpecs, err = repro.SweepSpecs(modelSpecs, key, values); err != nil {
+			fmt.Fprintln(stderr, "bpbench:", err)
+			return 2
+		}
+	}
+	if len(deltas) > 0 {
+		// A spec that already carries a storage delta would collide with
+		// the axis rewriting it ("tage@+1@+2" is not a spec).
+		for _, s := range modelSpecs {
+			if spec, err := repro.ParseSpec(s); err == nil {
+				if d, has := spec.Delta(); has {
+					fmt.Fprintf(stderr, "bpbench: model %q already carries a storage delta (@%+d); drop it or the -delta axis\n", s, d)
+					return 2
+				}
+			}
+		}
+	}
+	m, err := repro.NewBenchMatrix(modelSpecs, splitList(*traces), *scenarios, lengths)
 	if err != nil {
 		fmt.Fprintln(stderr, "bpbench:", err)
 		return 2
@@ -232,11 +273,12 @@ func runCompact(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("bpbench compact", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		outPath = fs.String("o", "", "write the compacted store here instead of rewriting the input in place")
-		dryRun  = fs.Bool("dry-run", false, "report what compaction would keep and drop without writing anything")
+		outPath    = fs.String("o", "", "write the compacted store here instead of rewriting the input in place")
+		dryRun     = fs.Bool("dry-run", false, "report what compaction would keep and drop without writing anything")
+		pruneDrift = fs.Bool("prune-drift", false, "additionally drop cells recorded under a different git SHA than HEAD, so a resume re-measures them")
 	)
 	usage := func() int {
-		fmt.Fprintln(stderr, "usage: bpbench compact [-o out.jsonl] [-dry-run] store.jsonl")
+		fmt.Fprintln(stderr, "usage: bpbench compact [-o out.jsonl] [-dry-run] [-prune-drift] store.jsonl")
 		return 2
 	}
 	if err := fs.Parse(args); err != nil {
@@ -259,7 +301,16 @@ func runCompact(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "bpbench:", err)
 		return 2
 	}
-	out, stats := repro.CompactStore(recs)
+	opts := repro.BenchCompactOpts{}
+	if *pruneDrift {
+		opts.PruneDrift = true
+		opts.Head = repro.CurrentProvenance()
+		if opts.Head.GitSHA == "" {
+			fmt.Fprintln(stderr, "bpbench: -prune-drift needs a git HEAD to prune against, and none was found")
+			return 2
+		}
+	}
+	out, stats := repro.CompactStoreWith(recs, opts)
 	// The recomputed aggregate set can be larger than what the store held
 	// (a crash tore through the final aggregate block): account drops and
 	// repairs separately so neither count can ever print negative.
@@ -271,10 +322,14 @@ func runCompact(args []string, stdout, stderr io.Writer) int {
 	if restored > 0 {
 		repair = fmt.Sprintf("; %d aggregate records restored by recompute", restored)
 	}
+	drift := ""
+	if *pruneDrift {
+		drift = fmt.Sprintf(", %d drifted cells (other git SHA than %s)", stats.DriftDropped, opts.Head.Short())
+	}
 	fmt.Fprintf(stderr,
-		"bpbench: compact %s: %d records in, %d out (%d dropped: %d superseded failures, %d duplicate cells, %d stale aggregates%s); %d distinct cells (%d still failed), aggregates %d -> %d\n",
-		store, stats.In, stats.Out, stats.SupersededFailed+stats.DuplicateCells+staleAggs,
-		stats.SupersededFailed, stats.DuplicateCells, staleAggs, repair,
+		"bpbench: compact %s: %d records in, %d out (%d dropped: %d superseded failures, %d duplicate cells, %d stale aggregates%s%s); %d distinct cells (%d still failed), aggregates %d -> %d\n",
+		store, stats.In, stats.Out, stats.SupersededFailed+stats.DuplicateCells+staleAggs+stats.DriftDropped,
+		stats.SupersededFailed, stats.DuplicateCells, staleAggs, repair, drift,
 		stats.CellsOut, stats.FailedKept, stats.AggregatesIn, stats.AggregatesOut)
 	if prov := repro.StoreProvenance(recs); len(prov) > 1 {
 		fmt.Fprintf(stderr, "bpbench: note: store spans %d revisions\n", len(prov))
@@ -389,6 +444,35 @@ func splitList(s string) []string {
 		}
 	}
 	return out
+}
+
+// parseSweep parses the -sweep axis: "key=lo:hi" (an inclusive integer
+// range, for fields the spec registry declares integer-valued) or
+// "key=v1,v2,..." (verbatim values — the form for fields whose values
+// themselves contain ':', like hist=6:500,6:2000).
+func parseSweep(s string) (key string, values []string, err error) {
+	key, rest, ok := strings.Cut(s, "=")
+	key = strings.TrimSpace(key)
+	if !ok || key == "" || strings.TrimSpace(rest) == "" {
+		return "", nil, fmt.Errorf("bad -sweep %q (want key=lo:hi or key=v1,v2,...)", s)
+	}
+	parts := splitList(rest)
+	if len(parts) == 1 && strings.Contains(parts[0], ":") && repro.SpecFieldSweepsAsRange(key) {
+		lo, hi, _ := strings.Cut(parts[0], ":")
+		l, err1 := strconv.Atoi(strings.TrimSpace(lo))
+		h, err2 := strconv.Atoi(strings.TrimSpace(hi))
+		if err1 != nil || err2 != nil {
+			return "", nil, fmt.Errorf("bad -sweep range %q (want lo:hi, e.g. tables=9:13)", parts[0])
+		}
+		if l > h {
+			return "", nil, fmt.Errorf("bad -sweep range %q: lo %d > hi %d", parts[0], l, h)
+		}
+		for v := l; v <= h; v++ {
+			values = append(values, strconv.Itoa(v))
+		}
+		return key, values, nil
+	}
+	return key, parts, nil
 }
 
 // parseDeltas parses the -delta axis: an inclusive "lo:hi" deltaLog

@@ -213,7 +213,7 @@ func TestResumeRefusesConfigMismatch(t *testing.T) {
 	}
 	args := append(sweepArgs(store), "-window", "64")
 	code, _, errOut := runCapture(t, args...)
-	if code != 2 || !strings.Contains(errOut, "different pipeline configuration") {
+	if code != 2 || !strings.Contains(errOut, "different configuration") {
 		t.Fatalf("config-mismatch resume: exit %d, stderr: %s", code, errOut)
 	}
 }

@@ -1,9 +1,13 @@
 // Command bpsim runs a branch predictor over synthetic benchmark traces
-// and reports accuracy and access statistics.
+// and reports accuracy and access statistics. -model accepts any model
+// spec: a named model or a parameterised configuration (see the README
+// "Model specs" section).
 //
 // Usage:
 //
 //	bpsim -model tage-lsc -scenario A -branches 1000000 [-trace INT01]
+//	bpsim -model 'tage:tables=9,hist=6:500' -scenario A
+//	bpsim -model 'composed:tage+ium+lsc@+2' -scenario C
 //	bpsim -list
 package main
 
@@ -32,7 +36,7 @@ func resolve(model, scenario string) (*repro.Model, repro.Scenario, error) {
 }
 
 func main() {
-	model := flag.String("model", "tage", "predictor model (see -list)")
+	model := flag.String("model", "tage", "predictor model spec: a named model or kind:key=value,... (see -list)")
 	scenario := flag.String("scenario", "A", "update scenario: I, A, B or C")
 	traceName := flag.String("trace", "", "single trace to run (default: all 40)")
 	branches := flag.Int("branches", 500000, "branches per trace")

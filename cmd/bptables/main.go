@@ -1,6 +1,9 @@
 // Command bptables regenerates the paper's tables and figures
-// (experiments E1..E15, see DESIGN.md), printing paper-vs-measured rows
-// and the shape checks each experiment must satisfy.
+// (experiments E1..E15, see the internal/experiments index), printing
+// paper-vs-measured rows and the shape checks each experiment must
+// satisfy. With -model it instead evaluates one arbitrary model spec
+// over the whole 40-trace suite — the quick answer to "how would this
+// point of the design space have scored in the paper's tables".
 //
 // Usage:
 //
@@ -8,6 +11,7 @@
 //	bptables -exp E2,E11        # run a subset
 //	bptables -branches 1000000  # full-scale run
 //	bptables -markdown          # emit EXPERIMENTS.md-style markdown
+//	bptables -model 'tage:tables=9,hist=6:500'   # one spec, full suite
 package main
 
 import (
@@ -26,7 +30,16 @@ func main() {
 	branches := flag.Int("branches", 200000, "branches per trace")
 	markdown := flag.Bool("markdown", false, "emit markdown instead of text")
 	store := flag.String("store", "", "resumable JSONL result store for the harness-backed sweeps (E11): interrupted runs continue, complete ones re-render for free")
+	model := flag.String("model", "", "evaluate this model spec over the full suite instead of running experiments (scenario A)")
 	flag.Parse()
+
+	if *model != "" {
+		if *expFlag != "" || *store != "" || *markdown {
+			fmt.Fprintln(os.Stderr, "bptables: -model runs a one-off suite evaluation (plain table only); drop -exp/-store/-markdown")
+			os.Exit(2)
+		}
+		os.Exit(runModelSpec(*model, *branches))
+	}
 
 	cfg := repro.ExperimentConfig{BranchesPerTrace: *branches, ResultStore: *store}
 	ids := repro.ExperimentIDs()
@@ -59,4 +72,33 @@ func main() {
 	if failures > 0 {
 		os.Exit(1)
 	}
+}
+
+// runModelSpec evaluates one model spec across the whole benchmark
+// suite through the harness (scenario A, the paper's default reporting
+// scenario) and prints the per-trace table with its aggregates.
+func runModelSpec(spec string, branches int) int {
+	m, err := repro.NewBenchMatrix([]string{spec}, nil, "A", []int{branches})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bptables:", err)
+		return 2
+	}
+	canon := m.Models[0].Spec
+	fmt.Printf("# model=%s storage=%dKbit branches/trace=%d\n",
+		canon, m.Models[0].StorageBits/1024, branches)
+	sink, err := repro.NewBenchSink("table", os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bptables:", err)
+		return 2
+	}
+	sum, err := repro.RunBench(m, repro.BenchConfig{}, sink)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bptables:", err)
+		return 2
+	}
+	if sum.Failed > 0 {
+		fmt.Fprintf(os.Stderr, "bptables: %d of %d cells failed\n", sum.Failed, sum.Jobs)
+		return 1
+	}
+	return 0
 }

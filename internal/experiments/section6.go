@@ -194,6 +194,11 @@ func scalableModel[C any](name string, mk func(d int) func() predictor.Predictor
 	}
 	m := scale(0)
 	m.Name = name
+	// The identifier is the canonical model spec for these two (the same
+	// ones `bpbench -models` resolves), so experiment store records are
+	// spec-validated exactly like bpbench's; the harness stamps scaled
+	// variants with the rescaled spec.
+	m.Spec = name
 	m.Scale = scale
 	return m
 }

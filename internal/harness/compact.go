@@ -30,6 +30,10 @@ type CompactStats struct {
 	// run or resume appended one full set); AggregatesOut counts the
 	// single recomputed set in the output, or 0 when the input had none.
 	AggregatesIn, AggregatesOut int
+	// DriftDropped counts cell records dropped by CompactOpts.PruneDrift:
+	// recorded under a git SHA other than the head's. Always 0 without
+	// pruning.
+	DriftDropped int
 }
 
 // Dropped is the net record-count reduction.
@@ -51,17 +55,41 @@ func (s CompactStats) Dropped() int { return s.In - s.Out }
 // Compact is idempotent and total: it never fails, never invents cell
 // keys, and compacting a compacted store returns it unchanged.
 func Compact(recs []Record) ([]Record, CompactStats) {
+	return CompactWith(recs, CompactOpts{})
+}
+
+// CompactOpts tunes CompactWith beyond the canonicalising default.
+type CompactOpts struct {
+	// PruneDrift drops every cell record recorded under a git SHA other
+	// than Head's before canonicalising, so a store that has drifted
+	// across revisions is cut back to the cells HEAD actually produced —
+	// a subsequent resume re-measures the dropped keys at HEAD. Records
+	// with no SHA at all are kept: absence of provenance is not evidence
+	// of drift (and pre-provenance stores would otherwise be emptied).
+	PruneDrift bool
+	// Head is the provenance to prune against (CurrentProvenance for the
+	// CLI). Pruning with an empty Head SHA is a no-op.
+	Head Provenance
+}
+
+// CompactWith is Compact with options; see CompactOpts.
+func CompactWith(recs []Record, opts CompactOpts) ([]Record, CompactStats) {
 	stats := CompactStats{In: len(recs)}
 	type slot struct {
 		rec Record
 		ok  bool // rec is a successful record
 	}
+	prune := opts.PruneDrift && opts.Head.GitSHA != ""
 	canon := make(map[string]*slot)
 	var order []string
 	for _, r := range recs {
 		switch r.Kind {
 		case KindCell, "":
 			stats.CellsIn++
+			if prune && r.Provenance != nil && r.Provenance.GitSHA != "" && r.Provenance.GitSHA != opts.Head.GitSHA {
+				stats.DriftDropped++
+				continue
+			}
 			key := r.Key()
 			s, seen := canon[key]
 			if !seen {

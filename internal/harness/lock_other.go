@@ -1,0 +1,26 @@
+//go:build !unix
+
+package harness
+
+import (
+	"fmt"
+	"os"
+)
+
+// lockStore is the portable fallback for platforms without flock: an
+// O_EXCL sidecar lockfile next to the store. It serialises concurrent
+// resumes the same way, but unlike the flock path a killed process
+// leaves the lockfile behind — the error says which file to remove.
+func lockStore(f *os.File, path string) (unlock func(), err error) {
+	lockPath := path + ".lock"
+	lf, err := os.OpenFile(lockPath, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		if os.IsExist(err) {
+			return nil, fmt.Errorf("harness: store %s is locked by another process (a concurrent resume is appending to it); wait for it to finish, or remove %s if its writer is gone", path, lockPath)
+		}
+		return nil, fmt.Errorf("harness: locking store %s: %w", path, err)
+	}
+	fmt.Fprintf(lf, "%d\n", os.Getpid())
+	lf.Close()
+	return func() { os.Remove(lockPath) }, nil
+}

@@ -1,0 +1,26 @@
+//go:build unix
+
+package harness
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// lockStore takes an exclusive advisory flock on the open store file so
+// two concurrent resumes cannot interleave appends into one stream; the
+// second opener fails fast with a clear message instead of corrupting
+// the store. The lock is released by unlock and — because flock is
+// scoped to the open file description — by process exit no matter how
+// the process dies, so a kill -9 mid-append never leaves a stale lock.
+func lockStore(f *os.File, path string) (unlock func(), err error) {
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		if errors.Is(err, syscall.EWOULDBLOCK) || errors.Is(err, syscall.EAGAIN) {
+			return nil, fmt.Errorf("harness: store %s is locked by another process (a concurrent resume is appending to it); wait for it to finish or use a separate store", path)
+		}
+		return nil, fmt.Errorf("harness: locking store %s: %w", path, err)
+	}
+	return func() { syscall.Flock(int(f.Fd()), syscall.LOCK_UN) }, nil
+}

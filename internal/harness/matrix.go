@@ -17,7 +17,13 @@ import (
 // simulate a freshly-constructed predictor over the trace (cold state per
 // job); the root repro package adapts its Model type to this shape.
 type Model struct {
-	Name        string
+	Name string
+	// Spec is the canonical model-spec string the model was built from
+	// ("" for models constructed directly rather than through the spec
+	// API). Records carry it, so a store can validate a resumed cell
+	// against the exact configuration that produced it even after the
+	// mapping from names to configurations changes.
+	Spec        string
 	StorageBits int
 	Run         func(tr *trace.Trace, opt sim.Options) sim.Result
 	// Scale, when non-nil, returns the model with every component budget
@@ -232,6 +238,12 @@ func (m *Matrix) modelVariants() ([]modelVariant, error) {
 		for _, d := range m.DeltaLogs {
 			scaled := mdl.Scale(d)
 			scaled.Name = ScaledName(mdl.Name, d)
+			if scaled.Spec == "" && mdl.Spec != "" {
+				// The delta suffix is spec syntax: a scaled variant's
+				// canonical spec is the base spec rescaled, which is
+				// exactly its scaled name.
+				scaled.Spec = ScaledName(mdl.Spec, d)
+			}
 			if scaled.Run == nil {
 				return nil, fmt.Errorf("harness: model %q scaled by %+d has no Run", mdl.Name, d)
 			}

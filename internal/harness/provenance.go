@@ -13,10 +13,14 @@ import (
 // SchemaVersion identifies the record schema a store was written under.
 // Version 1 is the unversioned pre-provenance format (stores written
 // before provenance stamping existed carry no block at all and read as
-// schema 1 implicitly); version 2 added the per-record Provenance block.
-// Bump this whenever a Record field changes meaning, so long-lived
-// stores can tell which revision of the harness wrote each line.
-const SchemaVersion = 2
+// schema 1 implicitly); version 2 added the per-record Provenance block;
+// version 3 added the canonical model-spec field (older records are
+// upgraded on read by backfilling it from the model identifier — see
+// migrateRecord — and records from schemas newer than this constant are
+// rejected on read rather than misread). Bump this whenever a Record
+// field changes meaning, so long-lived stores can tell which revision of
+// the harness wrote each line.
+const SchemaVersion = 3
 
 // Provenance records where a result came from: the source revision the
 // harness was built from, whether the tree was dirty, and the toolchain.

@@ -22,8 +22,14 @@ const (
 // MPKI/MPPKI as per-cell means and additionally carry the sums (the
 // paper quotes suite MPPKI as a sum over the 40 traces).
 type Record struct {
-	Kind     string `json:"kind"`
-	Model    string `json:"model"`
+	Kind  string `json:"kind"`
+	Model string `json:"model"`
+	// Spec is the canonical model-spec string the cell's model was built
+	// from (schema >= 3; on read, older records are upgraded in place by
+	// filling it from the model identifier, which has always been the
+	// canonical spec for named and scaled models). PlanResume refuses to
+	// reuse a cell whose recorded spec disagrees with the requested one.
+	Spec     string `json:"spec,omitempty"`
 	Trace    string `json:"trace,omitempty"`
 	Category string `json:"category,omitempty"`
 	Scenario string `json:"scenario"`
@@ -98,6 +104,7 @@ func cellRecord(j Job, res sim.Result) Record {
 	return Record{
 		Kind:           KindCell,
 		Model:          j.Model.Name,
+		Spec:           j.Model.Spec,
 		Trace:          j.Spec.Name,
 		Category:       j.Spec.Category,
 		Scenario:       j.Scenario.Letter(),
@@ -123,6 +130,7 @@ func failedRecord(j Job, err error) Record {
 	return Record{
 		Kind:        KindCell,
 		Model:       j.Model.Name,
+		Spec:        j.Model.Spec,
 		Trace:       j.Spec.Name,
 		Category:    j.Spec.Category,
 		Scenario:    j.Scenario.Letter(),

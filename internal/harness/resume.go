@@ -23,6 +23,12 @@ import (
 // bad line *followed by* more data is genuine corruption and errors. A
 // missing file is an error (callers decide whether that starts a fresh
 // store).
+//
+// Records are schema-migrated in place as they are read: a record whose
+// provenance names a schema newer than this binary's SchemaVersion is
+// rejected with a clear error (never silently dropped — it is real data
+// from a newer binary, not a crash tail), and records from older schemas
+// are upgraded to the current shape (see migrateRecord).
 func ReadStoreFile(path string) (recs []Record, validLen int64, err error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -43,11 +49,37 @@ func ReadStoreFile(path string) (recs []Record, validLen int64, err error) {
 				}
 				break // bad final line: crash tail
 			}
+			if err := migrateRecord(&r); err != nil {
+				return nil, 0, fmt.Errorf("%s: record at byte %d: %w", path, validLen, err)
+			}
 			recs = append(recs, r)
 		}
 		validLen += int64(nl + 1)
 	}
 	return recs, validLen, nil
+}
+
+// migrateRecord upgrades a stored record to the current schema, or
+// rejects it when it was written by a newer binary than this one (whose
+// fields this binary could misinterpret or silently drop on rewrite).
+// Upgrades applied:
+//
+//   - schema < 3: the Spec field did not exist. The model identifier has
+//     always been the canonical spec for named models ("tage") and scaled
+//     variants ("tage@+2"), so it backfills Spec — letting pre-spec
+//     stores participate in spec-validated resumes.
+func migrateRecord(r *Record) error {
+	schema := 1 // records that predate provenance stamping
+	if r.Provenance != nil && r.Provenance.Schema > 0 {
+		schema = r.Provenance.Schema
+	}
+	if schema > SchemaVersion {
+		return fmt.Errorf("harness: record written under store schema %d, but this binary understands at most schema %d; re-read the store with the newer binary that wrote it", schema, SchemaVersion)
+	}
+	if schema < 3 && r.Spec == "" {
+		r.Spec = r.Model
+	}
+	return nil
 }
 
 // ResumePlan partitions an expanded job list against a prior record
@@ -116,11 +148,21 @@ func PlanResume(jobs []Job, prior []Record, head Provenance) *ResumePlan {
 	for _, j := range jobs {
 		key := j.Key()
 		if r, have := ok[key]; have {
-			if wantW, wantD := effectivePipeline(j); r.Window != wantW || r.ExecDelay != wantD {
+			wantW, wantD := effectivePipeline(j)
+			switch {
+			case r.Window != wantW || r.ExecDelay != wantD:
 				plan.ConfigConflicts = append(plan.ConfigConflicts, fmt.Sprintf(
 					"%s: stored window/execdelay %d/%d, requested %d/%d",
 					key, r.Window, r.ExecDelay, wantW, wantD))
-			} else {
+			case r.Spec != "" && j.Model.Spec != "" && r.Spec != j.Model.Spec:
+				// The cell key matched but the recorded configuration did
+				// not: the store was written when this model name meant a
+				// different predictor. Reusing the record would silently
+				// mix configurations under one key.
+				plan.ConfigConflicts = append(plan.ConfigConflicts, fmt.Sprintf(
+					"%s: stored model spec %q, requested %q",
+					key, r.Spec, j.Model.Spec))
+			default:
 				if w := driftWarning(key, r.Provenance, head); w != "" {
 					plan.ProvenanceDrift = append(plan.ProvenanceDrift, w)
 				}
@@ -168,28 +210,44 @@ func effectivePipeline(j Job) (window, execDelay int) {
 }
 
 // ResumeStoreFile is the complete store-backed resume sequence shared
-// by `bpbench -resume` and the experiments' ResultStore path: read the
-// store at path (a missing file starts a fresh one; a crash tail from a
-// killed writer is dropped and truncated away before appending), plan
-// jobs against it with cfg.Provenance as the drift baseline, refuse on
-// pipeline-config conflicts (mixing pipeline models in one store would
-// silently change what its aggregates measure), then execute the plan
-// appending JSONL records to the store. onPlan, when non-nil, observes
-// the plan after the conflict check and before anything runs — the
-// place to surface ProvenanceDrift warnings — and may veto the run by
-// returning an error.
+// by `bpbench -resume` and the experiments' ResultStore path: open and
+// lock the store at path (a missing file starts a fresh one), read it (a
+// crash tail from a killed writer is dropped and truncated away before
+// appending), plan jobs against it with cfg.Provenance as the drift
+// baseline, refuse on configuration conflicts (mixing pipeline models or
+// model specs in one store would silently change what its aggregates
+// measure), then execute the plan appending JSONL records to the store.
+// onPlan, when non-nil, observes the plan after the conflict check and
+// before anything runs — the place to surface ProvenanceDrift warnings —
+// and may veto the run by returning an error.
+//
+// The store is held under an exclusive advisory lock (flock where the
+// platform has it, an O_EXCL lockfile elsewhere) for the whole
+// read-plan-truncate-append sequence, so two concurrent resumes cannot
+// interleave appends into one store: the second opener fails fast with a
+// clear error instead of corrupting the stream.
 func ResumeStoreFile(path string, jobs []Job, cfg Config, onPlan func(*ResumePlan) error) (*Summary, error) {
 	var head Provenance
 	if cfg.Provenance != nil {
 		head = *cfg.Provenance
 	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	unlock, err := lockStore(f, path)
+	if err != nil {
+		return nil, err
+	}
+	defer unlock()
 	prior, validLen, err := ReadStoreFile(path)
-	if err != nil && !os.IsNotExist(err) {
+	if err != nil {
 		return nil, err
 	}
 	plan := PlanResume(jobs, prior, head)
 	if n := len(plan.ConfigConflicts); n > 0 {
-		return nil, fmt.Errorf("store %s was built under a different pipeline configuration (%d cells; first: %s); rerun with the original window/execdelay or use a fresh store",
+		return nil, fmt.Errorf("store %s was built under a different configuration (%d cells; first: %s); rerun with the original settings or use a fresh store",
 			path, n, plan.ConfigConflicts[0])
 	}
 	if onPlan != nil {
@@ -197,11 +255,6 @@ func ResumeStoreFile(path string, jobs []Job, cfg Config, onPlan func(*ResumePla
 			return nil, err
 		}
 	}
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
 	// Drop the crash tail so the appended records extend a well-formed
 	// stream (with O_APPEND, writes land at the new end).
 	if err := f.Truncate(validLen); err != nil {

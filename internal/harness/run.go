@@ -195,17 +195,20 @@ type accum struct {
 	simBranches uint64
 	elapsed     float64
 	cells       int
-	// deltaLog and storageBits are constant across a group's cells (the
-	// scaled model name is part of the group identity); the first cell
-	// stamps them so budget-sweep aggregates stay plottable on their own.
+	// deltaLog, storageBits and spec are constant across a group's cells
+	// (the canonical model name is part of the group identity); the first
+	// cell stamps them so budget-sweep aggregates stay plottable on their
+	// own and aggregates say which configuration they roll up.
 	deltaLog    int
 	storageBits int
+	spec        string
 }
 
 func (a *accum) add(r Record) {
 	if a.cells == 0 {
 		a.deltaLog = r.DeltaLog
 		a.storageBits = r.StorageBits
+		a.spec = r.Spec
 	}
 	a.mpki += r.MPKI
 	a.mppki += r.MPPKI
@@ -219,6 +222,7 @@ func (a *accum) record(kind string, g groupKey, category string) Record {
 	r := Record{
 		Kind:        kind,
 		Model:       g.model,
+		Spec:        a.spec,
 		Category:    category,
 		Scenario:    g.scenario,
 		Branches:    g.branches,

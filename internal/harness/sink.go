@@ -61,7 +61,7 @@ func (s *csvSink) Emit(r Record) error {
 			"mpki", "mppki", "mpki_sum", "mppki_sum", "mispredicts",
 			"misprediction_rate",
 			"sim_branches", "elapsed_sec", "branches_per_sec",
-			"cells", "error", "git_sha", "git_dirty",
+			"cells", "error", "git_sha", "git_dirty", "spec",
 		}); err != nil {
 			return err
 		}
@@ -84,6 +84,7 @@ func (s *csvSink) Emit(r Record) error {
 		formatFloat(r.ElapsedSec), formatFloat(r.BranchesPerSec),
 		strconv.Itoa(r.Cells), r.Err,
 		sha, strconv.FormatBool(dirty),
+		r.Spec,
 	})
 }
 

@@ -1,0 +1,231 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/predictor"
+)
+
+// Tests for the store-lifecycle satellites: schema migration on read,
+// drift-pruning compaction, the store lock, and spec validation on
+// resume.
+
+func writeStoreLines(t *testing.T, path string, recs ...Record) {
+	t.Helper()
+	var b strings.Builder
+	for _, r := range recs {
+		line, err := json.Marshal(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b.Write(line)
+		b.WriteByte('\n')
+	}
+	if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestReadStoreFileRejectsNewerSchema: a record stamped with a schema
+// newer than the binary's must be rejected loudly — it is real data from
+// a newer binary, never a crash tail to truncate away.
+func TestReadStoreFileRejectsNewerSchema(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "store.jsonl")
+	future := Record{
+		Kind: KindCell, Model: "tage", Trace: "INT01", Scenario: "A", Branches: 40,
+		Window: 24, ExecDelay: 6, MPKI: 1,
+		Provenance: &Provenance{GitSHA: "abc", Schema: SchemaVersion + 1},
+	}
+	writeStoreLines(t, path, future)
+	_, _, err := ReadStoreFile(path)
+	if err == nil {
+		t.Fatal("newer-schema record must be rejected")
+	}
+	for _, want := range []string{
+		fmt.Sprint(SchemaVersion + 1), fmt.Sprint(SchemaVersion), "newer binary",
+	} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("error %q does not mention %q", err, want)
+		}
+	}
+
+	// …and the rejection is positional: a newer-schema record mid-file is
+	// just as fatal, not skipped.
+	ok := Record{Kind: KindCell, Model: "tage", Trace: "INT02", Scenario: "A", Branches: 40, Window: 24, ExecDelay: 6, MPKI: 2}
+	writeStoreLines(t, path, future, ok)
+	if _, _, err := ReadStoreFile(path); err == nil {
+		t.Fatal("newer-schema record followed by data must still be rejected")
+	}
+}
+
+// TestReadStoreFileUpgradesOlderSchema: records written before the Spec
+// field existed (schema 1: no provenance at all; schema 2: provenance
+// without spec) are upgraded in place — Spec backfilled from the model
+// identifier — so pre-spec stores participate in spec-validated resumes.
+func TestReadStoreFileUpgradesOlderSchema(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "store.jsonl")
+	writeStoreLines(t, path,
+		Record{Kind: KindCell, Model: "tage", Trace: "INT01", Scenario: "A", Branches: 40, Window: 24, ExecDelay: 6, MPKI: 1},
+		Record{Kind: KindCell, Model: "tage@+2", Trace: "INT01", Scenario: "A", Branches: 40, Window: 24, ExecDelay: 6, MPKI: 1,
+			Provenance: &Provenance{GitSHA: "abc", Schema: 2}},
+		Record{Kind: KindCell, Model: "tage:tables=9", Spec: "tage:tables=9", Trace: "INT01", Scenario: "A", Branches: 40, Window: 24, ExecDelay: 6, MPKI: 1,
+			Provenance: &Provenance{GitSHA: "abc", Schema: SchemaVersion}},
+		Record{Kind: KindSuite, Model: "tage", Scenario: "A", Branches: 40, Cells: 1, MPKI: 1},
+	)
+	recs, _, err := ReadStoreFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 4 {
+		t.Fatalf("read %d records", len(recs))
+	}
+	for i, want := range []string{"tage", "tage@+2", "tage:tables=9", "tage"} {
+		if recs[i].Spec != want {
+			t.Fatalf("record %d: spec %q, want %q", i, recs[i].Spec, want)
+		}
+	}
+	// The upgrade is in-memory: provenance blocks keep the schema the
+	// writer recorded.
+	if recs[1].Provenance.Schema != 2 {
+		t.Fatalf("upgrade rewrote recorded schema to %d", recs[1].Provenance.Schema)
+	}
+}
+
+// TestPlanResumeSpecConflict: a stored cell whose recorded spec
+// disagrees with the requested model's is a configuration conflict —
+// never silently reused, never silently re-run over.
+func TestPlanResumeSpecConflict(t *testing.T) {
+	mdl := fakeModel("m", flat(2))
+	mdl.Spec = "tage:tables=10"
+	m := testMatrix(t, []Model{mdl}, []string{"INT01"}, []predictor.Scenario{predictor.ScenarioA}, []int{60})
+	jobs, err := m.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prior := []Record{{
+		Kind: KindCell, Model: "m", Spec: "tage:tables=9",
+		Trace: "INT01", Scenario: "A", Branches: 60, Window: 24, ExecDelay: 6, MPKI: 1,
+	}}
+	plan := PlanResume(jobs, prior, Provenance{})
+	if len(plan.ConfigConflicts) != 1 || len(plan.Reused) != 0 {
+		t.Fatalf("plan: %d conflicts, %d reused", len(plan.ConfigConflicts), len(plan.Reused))
+	}
+	for _, want := range []string{"tage:tables=9", "tage:tables=10", "spec"} {
+		if !strings.Contains(plan.ConfigConflicts[0], want) {
+			t.Fatalf("conflict %q does not mention %q", plan.ConfigConflicts[0], want)
+		}
+	}
+
+	// Matching specs — and legacy records with no spec at all — reuse.
+	prior[0].Spec = "tage:tables=10"
+	if plan := PlanResume(jobs, prior, Provenance{}); len(plan.Reused) != 1 {
+		t.Fatalf("matching spec not reused: %+v", plan.ConfigConflicts)
+	}
+	prior[0].Spec = ""
+	if plan := PlanResume(jobs, prior, Provenance{}); len(plan.Reused) != 1 {
+		t.Fatalf("spec-less record not reused: %+v", plan.ConfigConflicts)
+	}
+}
+
+// TestResumeStoreFileLocked: a second resume against a locked store must
+// fail fast with a clear message instead of interleaving appends, and
+// the lock must release when the holder finishes.
+func TestResumeStoreFileLocked(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "store.jsonl")
+	m := testMatrix(t, []Model{fakeModel("m", flat(2))}, []string{"INT01"},
+		[]predictor.Scenario{predictor.ScenarioA}, []int{60})
+	jobs, err := m.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Hold the lock the way a concurrent resume would.
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	unlock, err := lockStore(f, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := ResumeStoreFile(path, jobs, Config{Parallelism: 1}, nil); err == nil {
+		t.Fatal("resume against a locked store must fail")
+	} else if !strings.Contains(err.Error(), "locked by another process") {
+		t.Fatalf("lock error: %v", err)
+	}
+
+	unlock()
+	sum, err := ResumeStoreFile(path, jobs, Config{Parallelism: 1}, nil)
+	if err != nil {
+		t.Fatalf("resume after unlock: %v", err)
+	}
+	if sum.Jobs != 1 || sum.Failed != 0 {
+		t.Fatalf("resume summary: %+v", sum)
+	}
+	// The store is usable (and unlocked) afterwards: a re-resume plans
+	// zero jobs.
+	sum, err = ResumeStoreFile(path, jobs, Config{Parallelism: 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Skipped != 1 {
+		t.Fatalf("re-resume skipped %d, want 1", sum.Skipped)
+	}
+}
+
+// TestCompactPruneDrift: -prune-drift compaction drops cells recorded
+// under a different git SHA than head, keeps SHA-less records (absence
+// of provenance is not drift), and accounts the drops.
+func TestCompactPruneDrift(t *testing.T) {
+	head := Provenance{GitSHA: "headsha", Schema: SchemaVersion}
+	old := &Provenance{GitSHA: "oldsha", Schema: SchemaVersion}
+	cur := &Provenance{GitSHA: "headsha", Schema: SchemaVersion}
+	cell := func(traceName string, p *Provenance, mpki float64) Record {
+		return Record{Kind: KindCell, Model: "m", Spec: "m", Trace: traceName, Category: "INT",
+			Scenario: "A", Branches: 40, Window: 24, ExecDelay: 6, MPKI: mpki, Provenance: p}
+	}
+	recs := []Record{
+		cell("INT01", old, 1), // drifted: dropped
+		cell("INT01", cur, 2), // head: canonical for its key
+		cell("INT02", old, 3), // drifted, never re-measured: key vanishes
+		cell("INT03", nil, 4), // no provenance: kept
+		{Kind: KindSuite, Model: "m", Scenario: "A", Branches: 40, Cells: 3, MPKI: 2},
+	}
+	out, stats := CompactWith(recs, CompactOpts{PruneDrift: true, Head: head})
+	if stats.DriftDropped != 2 {
+		t.Fatalf("drift dropped %d, want 2: %+v", stats.DriftDropped, stats)
+	}
+	var keys []string
+	for _, r := range out {
+		if r.Kind == KindCell {
+			keys = append(keys, r.Key())
+		}
+	}
+	want := []string{"m/INT01/A/40", "m/INT03/A/40"}
+	if len(keys) != 2 || keys[0] != want[0] || keys[1] != want[1] {
+		t.Fatalf("surviving keys %v, want %v", keys, want)
+	}
+	// Accounting closes: cells in = cells out + drops of each kind.
+	if stats.CellsIn-stats.CellsOut != stats.SupersededFailed+stats.DuplicateCells+stats.DriftDropped {
+		t.Fatalf("accounting open: %+v", stats)
+	}
+	// Aggregates were recomputed over the survivors.
+	if stats.AggregatesOut == 0 {
+		t.Fatalf("no recomputed aggregates: %+v", stats)
+	}
+
+	// No head SHA, or pruning off: nothing drift-dropped.
+	if _, s := CompactWith(recs, CompactOpts{PruneDrift: true}); s.DriftDropped != 0 {
+		t.Fatalf("empty-head prune dropped %d", s.DriftDropped)
+	}
+	if _, s := Compact(recs); s.DriftDropped != 0 {
+		t.Fatalf("plain compact dropped %d drifted", s.DriftDropped)
+	}
+}

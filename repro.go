@@ -16,8 +16,19 @@
 //	res := model.Run(tr, repro.Options{Scenario: repro.ScenarioA})
 //	fmt.Println(res.MPKI, res.MPPKI)
 //
+// Models are identified by declarative specs (see ParseSpec and the
+// README "Model specs" section): the named constructors above are sugar
+// over a parseable configuration grammar, so arbitrary points of the
+// design space — table counts, history series, tag widths, composite
+// stacks, storage budgets — build through the same lifecycle:
+//
+//	spec, _ := repro.ParseSpec("tage:tables=9,hist=6:500")
+//	model, _ := spec.Build()   // spec.Canonical() identifies it everywhere
+//
 // Every table and figure of the paper can be regenerated through
-// RunExperiment (ids E1..E15, see DESIGN.md) or the cmd/bptables binary.
+// RunExperiment (experiment ids E1..E15, indexed in internal/experiments
+// and surfaced by the cmd/bptables binary), and swept at scale through
+// the bench harness (BenchMatrix, cmd/bpbench).
 package repro
 
 import (
