@@ -8,6 +8,7 @@
 //	bpbench -models 'tage:tables=13' -sweep tables=9:13   # design-space axis
 //	bpbench -models tage -delta -4:3 -resume fig9.jsonl   # Figure 9 sweep
 //	bpbench -models tage -perf   # branches/sec table on stderr
+//	bpbench -metrics-addr :9090 -progress   # live /metrics + pprof + ETA line
 //	bpbench compact store.jsonl -dry-run   # store lifecycle maintenance
 //	bpbench compact store.jsonl -prune-drift   # drop cells from other SHAs
 //	bpbench diff -provenance old.jsonl new.jsonl -tolerance 0.05
@@ -42,17 +43,31 @@
 // regressed beyond the tolerance (or a cell newly fails), making bpbench
 // a drop-in CI gate for predictor changes; -provenance adds a column
 // saying which revision produced each moved cell.
+//
+// Observability: -metrics-addr serves the run's telemetry registry in
+// Prometheus text-exposition format on /metrics plus net/http/pprof
+// under /debug/pprof/ for the duration of the sweep; -progress renders
+// a periodic one-line report (cells done/total, branches/sec, ETA) to
+// stderr from the same registry. -cpuprofile/-memprofile write
+// runtime/pprof profiles on exit. Diagnostics go through a levelled
+// stderr logger: -quiet keeps only errors, -v adds debug detail.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
+	"net"
+	"net/http"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
 	"repro"
+	"repro/internal/cli"
 )
 
 func main() {
@@ -70,30 +85,36 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("bpbench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		models    = fs.String("models", "tage", "comma-separated model specs: named models or kind:key=value,... configurations (see -list)")
-		sweep     = fs.String("sweep", "", "expand a spec field into a matrix axis: key=lo:hi (inclusive int range) or key=v1,v2,..., applied to every -models spec")
-		scenarios = fs.String("scenarios", "A", "comma-separated update scenarii: I, A, B, C")
-		traces    = fs.String("traces", "", "comma-separated trace-name globs, e.g. 'INT*,MM05' (default: all 40)")
-		branches  = fs.String("branches", "200000", "comma-separated branches-per-trace lengths")
-		delta     = fs.String("delta", "", "storage-budget axis: deltaLog range 'lo:hi' (inclusive) or comma list, e.g. '-4:3' (scalable models only)")
-		resume    = fs.String("resume", "", "append-only JSONL result store: skip cells already present, append only the missing ones")
-		include   = fs.String("include", "", "comma-separated cell globs to keep (model/trace/scenario/branches)")
-		exclude   = fs.String("exclude", "", "comma-separated cell globs to drop")
-		format    = fs.String("format", "table", "output format: table, jsonl or csv")
-		outPath   = fs.String("o", "", "write records to this file instead of stdout")
-		parallel  = fs.Int("parallelism", 0, "max concurrent jobs (default: NumCPU)")
-		window    = fs.Int("window", 0, "in-flight branch window (default 24)")
-		execDelay = fs.Int("execdelay", 0, "fetch-to-execute distance in branches (default 6)")
-		noCache   = fs.Bool("notracecache", false, "regenerate the trace for every job instead of sharing per (trace, length)")
-		noAgg     = fs.Bool("noaggregates", false, "suppress category/hard/suite rollup records")
-		perf      = fs.Bool("perf", false, "print a simulator-throughput (branches/sec) table to stderr after the run")
-		list      = fs.Bool("list", false, "list models and traces, then exit")
+		models      = fs.String("models", "tage", "comma-separated model specs: named models or kind:key=value,... configurations (see -list)")
+		sweep       = fs.String("sweep", "", "expand a spec field into a matrix axis: key=lo:hi (inclusive int range) or key=v1,v2,..., applied to every -models spec")
+		scenarios   = fs.String("scenarios", "A", "comma-separated update scenarii: I, A, B, C")
+		traces      = fs.String("traces", "", "comma-separated trace-name globs, e.g. 'INT*,MM05' (default: all 40)")
+		branches    = fs.String("branches", "200000", "comma-separated branches-per-trace lengths")
+		delta       = fs.String("delta", "", "storage-budget axis: deltaLog range 'lo:hi' (inclusive) or comma list, e.g. '-4:3' (scalable models only)")
+		resume      = fs.String("resume", "", "append-only JSONL result store: skip cells already present, append only the missing ones")
+		include     = fs.String("include", "", "comma-separated cell globs to keep (model/trace/scenario/branches)")
+		exclude     = fs.String("exclude", "", "comma-separated cell globs to drop")
+		format      = fs.String("format", "table", "output format: table, jsonl or csv")
+		outPath     = fs.String("o", "", "write records to this file instead of stdout")
+		parallel    = fs.Int("parallelism", 0, "max concurrent jobs (default: NumCPU)")
+		window      = fs.Int("window", 0, "in-flight branch window (default 24)")
+		execDelay   = fs.Int("execdelay", 0, "fetch-to-execute distance in branches (default 6)")
+		noCache     = fs.Bool("notracecache", false, "regenerate the trace for every job instead of sharing per (trace, length)")
+		noAgg       = fs.Bool("noaggregates", false, "suppress category/hard/suite rollup records")
+		perf        = fs.Bool("perf", false, "print a simulator-throughput (branches/sec) table to stderr after the run")
+		list        = fs.Bool("list", false, "list models and traces, then exit")
+		metricsAddr = fs.String("metrics-addr", "", "serve Prometheus /metrics and /debug/pprof on this address (e.g. :9090) for the duration of the run")
+		progress    = fs.Bool("progress", false, "render a periodic one-line progress report (cells done/total, branches/sec, ETA) to stderr")
+		cpuprofile  = fs.String("cpuprofile", "", "write a CPU profile to this file on exit")
+		memprofile  = fs.String("memprofile", "", "write a heap profile to this file on exit")
 	)
+	verbose, quiet := cli.Verbosity(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+	log := cli.NewLogger(stderr, *verbose, *quiet)
 	if fs.NArg() > 0 {
-		fmt.Fprintf(stderr, "bpbench: unexpected arguments %q (did you mean 'bpbench diff'?)\n", fs.Args())
+		log.Error(fmt.Sprintf("bpbench: unexpected arguments %q (did you mean 'bpbench diff'?)", fs.Args()))
 		return 2
 	}
 	if *list {
@@ -105,30 +126,88 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	if *window < 0 || *execDelay < 0 {
-		fmt.Fprintln(stderr, "bpbench: -window and -execdelay must be non-negative (0 = default)")
+		log.Error("bpbench: -window and -execdelay must be non-negative (0 = default)")
 		return 2
 	}
 	lengths, err := parseLengths(*branches)
 	if err != nil {
-		fmt.Fprintln(stderr, "bpbench:", err)
+		log.Error(fmt.Sprintf("bpbench: %v", err))
 		return 2
 	}
 	deltas, err := parseDeltas(*delta)
 	if err != nil {
-		fmt.Fprintln(stderr, "bpbench:", err)
+		log.Error(fmt.Sprintf("bpbench: %v", err))
 		return 2
 	}
+
+	// Profiles are written when run returns, clean exit or not, so an
+	// interrupted-by-error invocation still yields its samples.
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			log.Error(fmt.Sprintf("bpbench: %v", err))
+			return 2
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			log.Error(fmt.Sprintf("bpbench: -cpuprofile: %v", err))
+			return 2
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+			log.Debug(fmt.Sprintf("bpbench: wrote CPU profile to %s", *cpuprofile))
+		}()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				log.Error(fmt.Sprintf("bpbench: -memprofile: %v", err))
+				return
+			}
+			runtime.GC() // up-to-date heap statistics
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				log.Error(fmt.Sprintf("bpbench: -memprofile: %v", err))
+			}
+			f.Close()
+			log.Debug(fmt.Sprintf("bpbench: wrote heap profile to %s", *memprofile))
+		}()
+	}
+
+	// Telemetry: one registry feeds the harness, the /metrics endpoint
+	// and the progress line alike. Created only when something will read
+	// it — a nil registry keeps the instrumented paths at zero overhead.
+	var reg *repro.MetricsRegistry
+	if *metricsAddr != "" || *progress {
+		reg = repro.NewMetricsRegistry()
+	}
+	if *metricsAddr != "" {
+		ln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			log.Error(fmt.Sprintf("bpbench: -metrics-addr: %v", err))
+			return 2
+		}
+		srv := &http.Server{Handler: repro.TelemetryMux(reg)}
+		go func() { _ = srv.Serve(ln) }()
+		defer srv.Close()
+		log.Info(fmt.Sprintf("bpbench: serving /metrics and /debug/pprof on http://%s", ln.Addr()))
+	}
+	if *progress {
+		defer repro.StartBenchProgress(stderr, reg, 0)()
+	}
+
 	// Spec-aware split: commas separate models only where a new spec
 	// starts, so multi-field specs ride in one -models value.
 	modelSpecs := repro.SplitSpecList(*models)
 	if *sweep != "" {
 		key, values, err := parseSweep(*sweep)
 		if err != nil {
-			fmt.Fprintln(stderr, "bpbench:", err)
+			log.Error(fmt.Sprintf("bpbench: %v", err))
 			return 2
 		}
 		if modelSpecs, err = repro.SweepSpecs(modelSpecs, key, values); err != nil {
-			fmt.Fprintln(stderr, "bpbench:", err)
+			log.Error(fmt.Sprintf("bpbench: %v", err))
 			return 2
 		}
 	}
@@ -138,7 +217,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		for _, s := range modelSpecs {
 			if spec, err := repro.ParseSpec(s); err == nil {
 				if d, has := spec.Delta(); has {
-					fmt.Fprintf(stderr, "bpbench: model %q already carries a storage delta (@%+d); drop it or the -delta axis\n", s, d)
+					log.Error(fmt.Sprintf("bpbench: model %q already carries a storage delta (@%+d); drop it or the -delta axis", s, d))
 					return 2
 				}
 			}
@@ -146,7 +225,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	m, err := repro.NewBenchMatrix(modelSpecs, splitList(*traces), *scenarios, lengths)
 	if err != nil {
-		fmt.Fprintln(stderr, "bpbench:", err)
+		log.Error(fmt.Sprintf("bpbench: %v", err))
 		return 2
 	}
 	m.Include = splitList(*include)
@@ -159,25 +238,25 @@ func run(args []string, stdout, stderr io.Writer) int {
 	// is stamped with the revision that produced it, so saved runs stay
 	// interpretable after the predictor changes underneath them.
 	prov := repro.CurrentProvenance()
-	cfg := repro.BenchConfig{Parallelism: *parallel, NoTraceCache: *noCache, NoAggregates: *noAgg, Provenance: &prov}
+	cfg := repro.BenchConfig{Parallelism: *parallel, NoTraceCache: *noCache, NoAggregates: *noAgg, Provenance: &prov, Metrics: reg}
 	if *resume != "" {
 		// The store is the output: format and destination are fixed.
 		if *outPath != "" {
-			fmt.Fprintln(stderr, "bpbench: -resume writes to the store file; drop -o")
+			log.Error("bpbench: -resume writes to the store file; drop -o")
 			return 2
 		}
 		if *format != "table" && *format != "jsonl" {
-			fmt.Fprintln(stderr, "bpbench: -resume stores records as jsonl; drop -format")
+			log.Error("bpbench: -resume stores records as jsonl; drop -format")
 			return 2
 		}
-		return runResume(m, cfg, *resume, *perf, stderr)
+		return runResume(m, cfg, *resume, *perf, stderr, log)
 	}
 
 	out := stdout
 	if *outPath != "" {
 		f, err := os.Create(*outPath)
 		if err != nil {
-			fmt.Fprintln(stderr, "bpbench:", err)
+			log.Error(fmt.Sprintf("bpbench: %v", err))
 			return 2
 		}
 		defer f.Close()
@@ -185,17 +264,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	sink, err := repro.NewBenchSink(*format, out)
 	if err != nil {
-		fmt.Fprintln(stderr, "bpbench:", err)
+		log.Error(fmt.Sprintf("bpbench: %v", err))
 		return 2
 	}
 
+	log.Debug(fmt.Sprintf("bpbench: sweeping %d model spec(s) in %s format", len(modelSpecs), *format))
 	sum, err := repro.RunBench(m, cfg, sink)
 	if err != nil {
-		fmt.Fprintln(stderr, "bpbench:", err)
+		log.Error(fmt.Sprintf("bpbench: %v", err))
 		return 2
 	}
 	if sum.Jobs == 0 {
-		fmt.Fprintln(stderr, "bpbench: filters matched no cells")
+		log.Error("bpbench: filters matched no cells")
 		return 2
 	}
 	if *perf {
@@ -204,7 +284,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		repro.RenderBenchPerf(stderr, repro.BenchPerfRows(sum.Records))
 	}
 	if sum.Failed > 0 {
-		fmt.Fprintf(stderr, "bpbench: %d of %d jobs failed\n", sum.Failed, sum.Jobs)
+		log.Error(fmt.Sprintf("bpbench: %d of %d jobs failed", sum.Failed, sum.Jobs))
 		return 1
 	}
 	return 0
@@ -215,14 +295,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 // failed cells, and append the new records. A missing store file starts
 // a fresh one; a crash tail (truncated final line from a killed run) is
 // dropped and overwritten, so a store survives kill -9 mid-write.
-func runResume(m *repro.BenchMatrix, cfg repro.BenchConfig, path string, perf bool, stderr io.Writer) int {
+func runResume(m *repro.BenchMatrix, cfg repro.BenchConfig, path string, perf bool, stderr io.Writer, log *slog.Logger) int {
 	jobs, err := repro.ExpandBench(m)
 	if err != nil {
-		fmt.Fprintln(stderr, "bpbench:", err)
+		log.Error(fmt.Sprintf("bpbench: %v", err))
 		return 2
 	}
 	if len(jobs) == 0 {
-		fmt.Fprintln(stderr, "bpbench: filters matched no cells")
+		log.Error("bpbench: filters matched no cells")
 		return 2
 	}
 	sum, err := repro.RunBenchResumeStore(path, jobs, cfg, func(plan *repro.BenchResumePlan) error {
@@ -231,23 +311,23 @@ func runResume(m *repro.BenchMatrix, cfg repro.BenchConfig, path string, perf bo
 		// cross-cell comparisons should say so (bpbench compact + a
 		// fresh sweep resets).
 		if n := len(plan.ProvenanceDrift); n > 0 {
-			fmt.Fprintf(stderr, "bpbench: warning: %d reused cells carry provenance that may not match HEAD:\n", n)
+			log.Warn(fmt.Sprintf("bpbench: warning: %d reused cells carry provenance that may not match HEAD:", n))
 			for i, w := range plan.ProvenanceDrift {
 				if i == 3 {
-					fmt.Fprintf(stderr, "bpbench:   ... and %d more\n", n-i)
+					log.Warn(fmt.Sprintf("bpbench:   ... and %d more", n-i))
 					break
 				}
-				fmt.Fprintln(stderr, "bpbench:  ", w)
+				log.Warn(fmt.Sprintf("bpbench:   %s", w))
 			}
 		}
 		return nil
 	})
 	if err != nil {
-		fmt.Fprintln(stderr, "bpbench:", err)
+		log.Error(fmt.Sprintf("bpbench: %v", err))
 		return 2
 	}
-	fmt.Fprintf(stderr, "bpbench: resume %s: reused %d of %d cells, ran %d\n",
-		path, sum.Skipped, sum.Jobs, sum.Jobs-sum.Skipped)
+	log.Info(fmt.Sprintf("bpbench: resume %s: reused %d of %d cells, ran %d",
+		path, sum.Skipped, sum.Jobs, sum.Jobs-sum.Skipped))
 	if perf {
 		// The merged cell set, not the appended records: reused cells
 		// carry their preserved telemetry, so the table covers the whole
@@ -255,7 +335,7 @@ func runResume(m *repro.BenchMatrix, cfg repro.BenchConfig, path string, perf bo
 		repro.RenderBenchPerf(stderr, repro.BenchPerfRows(sum.Merged))
 	}
 	if sum.Failed > 0 {
-		fmt.Fprintf(stderr, "bpbench: %d of %d jobs failed\n", sum.Failed, sum.Jobs-sum.Skipped)
+		log.Error(fmt.Sprintf("bpbench: %d of %d jobs failed", sum.Failed, sum.Jobs-sum.Skipped))
 		return 1
 	}
 	return 0
@@ -277,6 +357,7 @@ func runCompact(args []string, stdout, stderr io.Writer) int {
 		dryRun     = fs.Bool("dry-run", false, "report what compaction would keep and drop without writing anything")
 		pruneDrift = fs.Bool("prune-drift", false, "additionally drop cells recorded under a different git SHA than HEAD, so a resume re-measures them")
 	)
+	verbose, quiet := cli.Verbosity(fs)
 	usage := func() int {
 		fmt.Fprintln(stderr, "usage: bpbench compact [-o out.jsonl] [-dry-run] [-prune-drift] store.jsonl")
 		return 2
@@ -295,10 +376,11 @@ func runCompact(args []string, stdout, stderr io.Writer) int {
 	if fs.NArg() > 0 {
 		return usage()
 	}
+	log := cli.NewLogger(stderr, *verbose, *quiet)
 
 	recs, _, err := repro.ReadBenchStoreFile(store)
 	if err != nil {
-		fmt.Fprintln(stderr, "bpbench:", err)
+		log.Error(fmt.Sprintf("bpbench: %v", err))
 		return 2
 	}
 	opts := repro.BenchCompactOpts{}
@@ -306,7 +388,7 @@ func runCompact(args []string, stdout, stderr io.Writer) int {
 		opts.PruneDrift = true
 		opts.Head = repro.CurrentProvenance()
 		if opts.Head.GitSHA == "" {
-			fmt.Fprintln(stderr, "bpbench: -prune-drift needs a git HEAD to prune against, and none was found")
+			log.Error("bpbench: -prune-drift needs a git HEAD to prune against, and none was found")
 			return 2
 		}
 	}
@@ -326,13 +408,13 @@ func runCompact(args []string, stdout, stderr io.Writer) int {
 	if *pruneDrift {
 		drift = fmt.Sprintf(", %d drifted cells (other git SHA than %s)", stats.DriftDropped, opts.Head.Short())
 	}
-	fmt.Fprintf(stderr,
-		"bpbench: compact %s: %d records in, %d out (%d dropped: %d superseded failures, %d duplicate cells, %d stale aggregates%s%s); %d distinct cells (%d still failed), aggregates %d -> %d\n",
+	log.Info(fmt.Sprintf(
+		"bpbench: compact %s: %d records in, %d out (%d dropped: %d superseded failures, %d duplicate cells, %d stale aggregates%s%s); %d distinct cells (%d still failed), aggregates %d -> %d",
 		store, stats.In, stats.Out, stats.SupersededFailed+stats.DuplicateCells+staleAggs+stats.DriftDropped,
 		stats.SupersededFailed, stats.DuplicateCells, staleAggs, repair, drift,
-		stats.CellsOut, stats.FailedKept, stats.AggregatesIn, stats.AggregatesOut)
+		stats.CellsOut, stats.FailedKept, stats.AggregatesIn, stats.AggregatesOut))
 	if prov := repro.StoreProvenance(recs); len(prov) > 1 {
-		fmt.Fprintf(stderr, "bpbench: note: store spans %d revisions\n", len(prov))
+		log.Info(fmt.Sprintf("bpbench: note: store spans %d revisions", len(prov)))
 	}
 	if *dryRun {
 		return 0
@@ -345,14 +427,14 @@ func runCompact(args []string, stdout, stderr io.Writer) int {
 	tmp := dest + ".compact.tmp"
 	f, err := os.Create(tmp)
 	if err != nil {
-		fmt.Fprintln(stderr, "bpbench:", err)
+		log.Error(fmt.Sprintf("bpbench: %v", err))
 		return 2
 	}
 	sink, err := repro.NewBenchSink("jsonl", f)
 	if err != nil {
 		f.Close()
 		os.Remove(tmp)
-		fmt.Fprintln(stderr, "bpbench:", err)
+		log.Error(fmt.Sprintf("bpbench: %v", err))
 		return 2
 	}
 	for _, r := range out {
@@ -371,7 +453,7 @@ func runCompact(args []string, stdout, stderr io.Writer) int {
 	}
 	if err != nil {
 		os.Remove(tmp)
-		fmt.Fprintln(stderr, "bpbench:", err)
+		log.Error(fmt.Sprintf("bpbench: %v", err))
 		return 2
 	}
 	return 0
@@ -386,6 +468,7 @@ func runDiff(args []string, stdout, stderr io.Writer) int {
 		absFloor   = fs.Float64("absfloor", 0.005, "absolute MPKI delta below which a cell never regresses")
 		provenance = fs.Bool("provenance", false, "show which git revision produced each side and each moved cell")
 	)
+	verbose, quiet := cli.Verbosity(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -400,6 +483,7 @@ func runDiff(args []string, stdout, stderr io.Writer) int {
 			return 2
 		}
 	}
+	log := cli.NewLogger(stderr, *verbose, *quiet)
 	if len(paths) != 2 || fs.NArg() > 0 {
 		fmt.Fprintln(stderr, "usage: bpbench diff [-tolerance t] [-absfloor a] [-provenance] old.jsonl new.jsonl")
 		return 2
@@ -418,7 +502,7 @@ func runDiff(args []string, stdout, stderr io.Writer) int {
 	})
 	rep, err := repro.BenchDiffFiles(paths[0], paths[1], opt)
 	if err != nil {
-		fmt.Fprintln(stderr, "bpbench:", err)
+		log.Error(fmt.Sprintf("bpbench: %v", err))
 		return 2
 	}
 	rep.ShowProvenance = *provenance
@@ -426,7 +510,7 @@ func runDiff(args []string, stdout, stderr io.Writer) int {
 	if rep.Cells == 0 {
 		// A baseline that parses to nothing (truncated file, disjoint
 		// matrices) must not make the gate pass vacuously.
-		fmt.Fprintln(stderr, "bpbench: no overlapping cells between baseline and new run")
+		log.Error("bpbench: no overlapping cells between baseline and new run")
 		return 2
 	}
 	if rep.HasRegressions() {

@@ -1,0 +1,209 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestMetricsEndpointServesDuringRun: -metrics-addr serves Prometheus
+// text exposition plus pprof while a sweep runs. The sweep is small, so
+// the scrape happens after completion — the server stays up until run
+// returns, and the families registered during the run are present.
+// Scraping mid-run is CI's job (the smoke step); here we pin the
+// endpoint contract.
+func TestMetricsEndpointServesDuringRun(t *testing.T) {
+	// Pick a free port up front so the scrape knows where to go.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	// Scrape concurrently with the run: poll until the server answers,
+	// then keep the last body after run() exits the sweep.
+	type scrape struct {
+		body  string
+		pprof bool
+		err   error
+	}
+	got := make(chan scrape, 1)
+	stop := make(chan struct{})
+	go func() {
+		var last scrape
+		for {
+			select {
+			case <-stop:
+				got <- last
+				return
+			default:
+			}
+			resp, err := http.Get("http://" + addr + "/metrics")
+			if err == nil {
+				b, rerr := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if rerr == nil && resp.Header.Get("Content-Type") == "text/plain; version=0.0.4; charset=utf-8" {
+					last.body = string(b)
+				}
+			}
+			if !last.pprof {
+				if resp, err := http.Get("http://" + addr + "/debug/pprof/cmdline"); err == nil {
+					if resp.StatusCode == http.StatusOK {
+						last.pprof = true
+					}
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+				}
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}()
+
+	// Enough simulation work (~0.5s) that the poller lands several
+	// scrapes while the sweep is live.
+	code, _, errOut := runCapture(t,
+		"-models", "tage", "-scenarios", "A,B", "-traces", "INT01,INT02",
+		"-branches", "1000000", "-parallelism", "2", "-format", "jsonl", "-metrics-addr", addr)
+	close(stop)
+	s := <-got
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut)
+	}
+	if !strings.Contains(errOut, "serving /metrics and /debug/pprof") {
+		t.Fatalf("no serving banner in stderr: %s", errOut)
+	}
+	if s.body == "" {
+		t.Fatalf("never scraped a valid /metrics response (err %v)", s.err)
+	}
+	for _, family := range []string{
+		"# TYPE bpbench_jobs_total counter",
+		"# TYPE bpbench_branches_per_sec gauge",
+		"# TYPE bpbench_branches_retired_total counter",
+		"# TYPE bpbench_cells_done gauge",
+	} {
+		if !strings.Contains(s.body, family) {
+			t.Errorf("scrape missing %q:\n%s", family, s.body)
+		}
+	}
+	if !s.pprof {
+		t.Error("/debug/pprof/cmdline never answered during the run")
+	}
+}
+
+func TestMetricsAddrInvalid(t *testing.T) {
+	code, _, errOut := runCapture(t,
+		"-models", "gshare", "-traces", "INT01", "-branches", "2000",
+		"-metrics-addr", "not-an-address:99999")
+	if code != 2 || !strings.Contains(errOut, "-metrics-addr") {
+		t.Fatalf("exit %d, stderr %q; want exit 2 mentioning -metrics-addr", code, errOut)
+	}
+}
+
+// TestProgressFlag: -progress renders at least the final report line,
+// fed by the run's registry.
+func TestProgressFlag(t *testing.T) {
+	code, _, errOut := runCapture(t,
+		"-models", "gshare", "-scenarios", "A,C", "-traces", "INT01,INT02",
+		"-branches", "2000", "-format", "jsonl", "-progress")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut)
+	}
+	if !strings.Contains(errOut, "progress: 4/4 cells") {
+		t.Fatalf("final progress line missing: %s", errOut)
+	}
+	if !strings.Contains(errOut, "ETA done") {
+		t.Fatalf("completed sweep should report ETA done: %s", errOut)
+	}
+}
+
+// TestProfileFlags: -cpuprofile and -memprofile write non-empty pprof
+// files on exit.
+func TestProfileFlags(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pb.gz")
+	mem := filepath.Join(dir, "mem.pb.gz")
+	code, _, errOut := runCapture(t,
+		"-models", "gshare", "-traces", "INT01", "-branches", "20000",
+		"-format", "jsonl", "-cpuprofile", cpu, "-memprofile", mem)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut)
+	}
+	for _, p := range []string{cpu, mem} {
+		fi, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile %s not written: %v", p, err)
+		}
+		if fi.Size() == 0 {
+			t.Fatalf("profile %s is empty", p)
+		}
+	}
+}
+
+// TestQuietAndVerbose: -quiet suppresses the info-level resume line but
+// never errors; -v adds debug detail.
+func TestQuietAndVerbose(t *testing.T) {
+	store := filepath.Join(t.TempDir(), "store.jsonl")
+	args := func(extra ...string) []string {
+		return append([]string{
+			"-models", "gshare", "-traces", "INT01", "-branches", "2000",
+			"-resume", store}, extra...)
+	}
+
+	code, _, errOut := runCapture(t, args("-quiet")...)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut)
+	}
+	if strings.Contains(errOut, "reused 0 of 1 cells") {
+		t.Fatalf("-quiet leaked the info line: %s", errOut)
+	}
+
+	code, _, errOut = runCapture(t, args("-v")...)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut)
+	}
+	if !strings.Contains(errOut, "reused 1 of 1 cells, ran 0") {
+		t.Fatalf("resume info line missing with -v: %s", errOut)
+	}
+	if !strings.Contains(errOut, "level=INFO") {
+		t.Fatalf("slog line format missing: %s", errOut)
+	}
+
+	// Errors survive -quiet.
+	code, _, errOut = runCapture(t, "-models", "no-such-model", "-quiet")
+	if code != 2 || !strings.Contains(errOut, "level=ERROR") {
+		t.Fatalf("exit %d, stderr %q; want exit 2 with an ERROR line", code, errOut)
+	}
+}
+
+// TestDiffIgnoresStoreTelemetry is the end-to-end half of the
+// diff-ignores-telemetry guard: two sweeps of the same grid — one plain,
+// one with telemetry enabled — must diff to zero movement.
+func TestDiffIgnoresStoreTelemetry(t *testing.T) {
+	dir := t.TempDir()
+	plain := filepath.Join(dir, "plain.jsonl")
+	instr := filepath.Join(dir, "instrumented.jsonl")
+	base := []string{"-models", "gshare", "-scenarios", "A,C",
+		"-traces", "INT01,INT02", "-branches", "2000", "-format", "jsonl"}
+
+	if code, _, errOut := runCapture(t, append(base, "-o", plain)...); code != 0 {
+		t.Fatalf("plain run exit %d: %s", code, errOut)
+	}
+	if code, _, errOut := runCapture(t, append(base, "-o", instr, "-progress")...); code != 0 {
+		t.Fatalf("instrumented run exit %d: %s", code, errOut)
+	}
+
+	code, out, errOut := runCapture(t, "diff", plain, instr, "-tolerance", "0", "-absfloor", "0")
+	if code != 0 {
+		t.Fatalf("diff exit %d (want zero movement):\nstdout: %s\nstderr: %s", code, out, errOut)
+	}
+	if !strings.Contains(out, fmt.Sprintf("compared %d cells: 0 regressions, 0 improvements", 4)) {
+		t.Fatalf("diff not clean: %s", out)
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"strings"
 
 	"repro"
+	"repro/internal/cli"
 )
 
 // resolve maps the -model and -scenario flag values to a Model and a
@@ -42,7 +43,9 @@ func main() {
 	branches := flag.Int("branches", 500000, "branches per trace")
 	window := flag.Int("window", 24, "in-flight branch window")
 	list := flag.Bool("list", false, "list models and traces, then exit")
+	verbose, quiet := cli.Verbosity(flag.CommandLine)
 	flag.Parse()
+	log := cli.NewLogger(os.Stderr, *verbose, *quiet)
 
 	if *list {
 		fmt.Println("models: ", strings.Join(repro.ModelNames(), " "))
@@ -52,7 +55,7 @@ func main() {
 
 	m, sc, err := resolve(*model, *scenario)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "bpsim: %v (try -list)\n", err)
+		log.Error(fmt.Sprintf("bpsim: %v (try -list)", err))
 		os.Exit(1)
 	}
 	opt := repro.Options{Scenario: sc, Window: *window}
@@ -61,6 +64,7 @@ func main() {
 	if *traceName != "" {
 		names = []string{*traceName}
 	}
+	log.Debug(fmt.Sprintf("bpsim: running %d trace(s) of %d branches", len(names), *branches))
 	fmt.Printf("# model=%s storage=%dKbit scenario=%s branches/trace=%d\n",
 		m.Name(), m.StorageBits()/1024, sc, *branches)
 

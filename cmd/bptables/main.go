@@ -17,11 +17,13 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"strings"
 	"time"
 
 	"repro"
+	"repro/internal/cli"
 	"repro/internal/experiments"
 )
 
@@ -31,14 +33,16 @@ func main() {
 	markdown := flag.Bool("markdown", false, "emit markdown instead of text")
 	store := flag.String("store", "", "resumable JSONL result store for the harness-backed sweeps (E11): interrupted runs continue, complete ones re-render for free")
 	model := flag.String("model", "", "evaluate this model spec over the full suite instead of running experiments (scenario A)")
+	verbose, quiet := cli.Verbosity(flag.CommandLine)
 	flag.Parse()
+	log := cli.NewLogger(os.Stderr, *verbose, *quiet)
 
 	if *model != "" {
 		if *expFlag != "" || *store != "" || *markdown {
-			fmt.Fprintln(os.Stderr, "bptables: -model runs a one-off suite evaluation (plain table only); drop -exp/-store/-markdown")
+			log.Error("bptables: -model runs a one-off suite evaluation (plain table only); drop -exp/-store/-markdown")
 			os.Exit(2)
 		}
-		os.Exit(runModelSpec(*model, *branches))
+		os.Exit(runModelSpec(*model, *branches, log))
 	}
 
 	cfg := repro.ExperimentConfig{BranchesPerTrace: *branches, ResultStore: *store}
@@ -51,9 +55,10 @@ func main() {
 	start := time.Now()
 	for _, id := range ids {
 		t0 := time.Now()
+		log.Debug(fmt.Sprintf("bptables: running experiment %s", strings.TrimSpace(id)))
 		rep, ok := repro.RunExperiment(strings.TrimSpace(id), cfg)
 		if !ok {
-			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", id)
+			log.Error(fmt.Sprintf("bptables: unknown experiment %q", id))
 			failures++
 			continue
 		}
@@ -77,10 +82,10 @@ func main() {
 // runModelSpec evaluates one model spec across the whole benchmark
 // suite through the harness (scenario A, the paper's default reporting
 // scenario) and prints the per-trace table with its aggregates.
-func runModelSpec(spec string, branches int) int {
+func runModelSpec(spec string, branches int, log *slog.Logger) int {
 	m, err := repro.NewBenchMatrix([]string{spec}, nil, "A", []int{branches})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "bptables:", err)
+		log.Error(fmt.Sprintf("bptables: %v", err))
 		return 2
 	}
 	canon := m.Models[0].Spec
@@ -88,16 +93,16 @@ func runModelSpec(spec string, branches int) int {
 		canon, m.Models[0].StorageBits/1024, branches)
 	sink, err := repro.NewBenchSink("table", os.Stdout)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "bptables:", err)
+		log.Error(fmt.Sprintf("bptables: %v", err))
 		return 2
 	}
 	sum, err := repro.RunBench(m, repro.BenchConfig{}, sink)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "bptables:", err)
+		log.Error(fmt.Sprintf("bptables: %v", err))
 		return 2
 	}
 	if sum.Failed > 0 {
-		fmt.Fprintf(os.Stderr, "bptables: %d of %d cells failed\n", sum.Failed, sum.Jobs)
+		log.Error(fmt.Sprintf("bptables: %d of %d cells failed", sum.Failed, sum.Jobs))
 		return 1
 	}
 	return 0

@@ -1,0 +1,44 @@
+// Package cli holds the few conventions the bp* commands share: a
+// structured stderr logger (log/slog) with the -v/-quiet verbosity
+// flags that select its level. Commands log through one *slog.Logger
+// instead of scattering fmt.Fprintf(os.Stderr, ...) calls, so every
+// diagnostic line carries a level, -quiet reliably silences the chatter
+// without hiding errors, and -v turns on the debug detail.
+package cli
+
+import (
+	"flag"
+	"io"
+	"log/slog"
+)
+
+// Verbosity registers the shared -v and -quiet flags on fs and returns
+// their destinations (read them after fs.Parse).
+func Verbosity(fs *flag.FlagSet) (verbose, quiet *bool) {
+	verbose = fs.Bool("v", false, "verbose: include debug-level diagnostics on stderr")
+	quiet = fs.Bool("quiet", false, "quiet: only errors on stderr")
+	return verbose, quiet
+}
+
+// NewLogger builds the command logger writing to w (stderr). Levels:
+// -quiet shows only errors, the default shows info and up, -v shows
+// debug and up; -quiet wins when both are set. Timestamps are dropped
+// so output is deterministic and greppable in tests and CI.
+func NewLogger(w io.Writer, verbose, quiet bool) *slog.Logger {
+	level := slog.LevelInfo
+	switch {
+	case quiet:
+		level = slog.LevelError
+	case verbose:
+		level = slog.LevelDebug
+	}
+	return slog.New(slog.NewTextHandler(w, &slog.HandlerOptions{
+		Level: level,
+		ReplaceAttr: func(groups []string, a slog.Attr) slog.Attr {
+			if a.Key == slog.TimeKey && len(groups) == 0 {
+				return slog.Attr{}
+			}
+			return a
+		},
+	}))
+}

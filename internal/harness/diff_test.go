@@ -2,6 +2,7 @@ package harness
 
 import (
 	"bytes"
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -221,5 +222,72 @@ func TestCSVAndTableSinks(t *testing.T) {
 	}
 	if err := multi.Close(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestDiffIgnoresTelemetryFields is the observability regression guard:
+// every Record field that is not cell identity, not the compared metric
+// (MPKI), and not the failure marker must be invisible to Diff. A run
+// whose only difference from its baseline is telemetry — timing,
+// throughput, provenance, counts — must show zero movement, or adding
+// instrumentation would perturb ci-golden comparisons. Enumerating the
+// fields by reflection means a future Record field is ignored-by-Diff
+// or this test fails until its role is decided.
+func TestDiffIgnoresTelemetryFields(t *testing.T) {
+	// Fields that legitimately change the comparison.
+	identity := map[string]bool{
+		"Kind": true, "Model": true, "Trace": true, "Category": true,
+		"Scenario": true, "Branches": true,
+	}
+	compared := map[string]bool{"MPKI": true, "Err": true}
+	// Window/ExecDelay are surfaced as config-mismatch warnings but must
+	// never count as regressions.
+	configOnly := map[string]bool{"Window": true, "ExecDelay": true}
+
+	base := []Record{
+		cell("tage", "INT01", "A", 1000, 10.0),
+		cell("tage", "INT02", "A", 1000, 5.0),
+	}
+	rt := reflect.TypeOf(Record{})
+	for i := 0; i < rt.NumField(); i++ {
+		f := rt.Field(i)
+		if identity[f.Name] || compared[f.Name] {
+			continue
+		}
+		mutated := make([]Record, len(base))
+		copy(mutated, base)
+		for j := range mutated {
+			fv := reflect.ValueOf(&mutated[j]).Elem().Field(i)
+			switch f.Type.Kind() {
+			case reflect.String:
+				fv.SetString(fv.String() + "-telemetry")
+			case reflect.Int:
+				fv.SetInt(fv.Int() + 7)
+			case reflect.Uint64:
+				fv.SetUint(fv.Uint() + 7)
+			case reflect.Float64:
+				fv.SetFloat(fv.Float() + 7)
+			case reflect.Ptr:
+				fv.Set(reflect.ValueOf(&Provenance{GitSHA: "deadbeefdeadbeef", Schema: 3}))
+			default:
+				t.Fatalf("Record.%s has kind %s this test cannot mutate; extend it", f.Name, f.Type.Kind())
+			}
+		}
+		rep := Diff(base, mutated, DiffOptions{Tolerance: -1, AbsFloor: -1})
+		if rep.HasRegressions() || len(rep.Improvements) > 0 {
+			t.Errorf("mutating Record.%s moved the diff: %d regressions, %d improvements, missing %v",
+				f.Name, len(rep.Regressions), len(rep.Improvements), rep.MissingInNew)
+		}
+		if rep.Cells != len(base) {
+			t.Errorf("mutating Record.%s changed cell identity: compared %d cells, want %d",
+				f.Name, rep.Cells, len(base))
+		}
+		if configOnly[f.Name] {
+			if len(rep.ConfigMismatches) == 0 {
+				t.Errorf("mutating Record.%s should surface a config-mismatch warning", f.Name)
+			}
+		} else if len(rep.ConfigMismatches) != 0 {
+			t.Errorf("mutating Record.%s produced config mismatches %v", f.Name, rep.ConfigMismatches)
+		}
 	}
 }

@@ -37,6 +37,13 @@ func Map[T any](n, workers int, fn func(i int) T) []T {
 // index in [0, n) with bounded parallelism; the first panic is re-raised
 // after the pool drains.
 func ForEach(n, workers int, fn func(i int)) {
+	forEachWorker(n, workers, func(_, i int) { fn(i) })
+}
+
+// forEachWorker is ForEach with the worker's shard id passed to fn —
+// the hook per-worker telemetry (jobs in flight per worker) needs,
+// without widening the public pool API.
+func forEachWorker(n, workers int, fn func(worker, i int)) {
 	if n <= 0 {
 		return
 	}
@@ -52,7 +59,7 @@ func ForEach(n, workers int, fn func(i int)) {
 	idx := make(chan int)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			for i := range idx {
 				func() {
@@ -65,10 +72,10 @@ func ForEach(n, workers int, fn func(i int)) {
 							panicMu.Unlock()
 						}
 					}()
-					fn(i)
+					fn(w, i)
 				}()
 			}
-		}()
+		}(w)
 	}
 	for i := 0; i < n; i++ {
 		idx <- i

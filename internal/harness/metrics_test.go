@@ -1,0 +1,266 @@
+package harness
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/predictor"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// panickyModel is fakeModel except it panics on the named trace —
+// exercising the failed-job accounting path.
+func panickyModel(name, badTrace string) Model {
+	base := fakeModel(name, flat(2))
+	inner := base.Run
+	base.Run = func(tr *trace.Trace, opt sim.Options) sim.Result {
+		if tr.Name == badTrace {
+			panic("telemetry test: induced failure")
+		}
+		return inner(tr, opt)
+	}
+	return base
+}
+
+func metricsTestMatrix(t *testing.T, models []Model) *Matrix {
+	t.Helper()
+	return testMatrix(t, models, []string{"INT01", "INT02", "MM05"},
+		[]predictor.Scenario{predictor.ScenarioA, predictor.ScenarioB}, []int{60})
+}
+
+func TestRunInstrumentsRegistry(t *testing.T) {
+	reg := metrics.NewRegistry()
+	m := metricsTestMatrix(t, []Model{panickyModel("m", "INT02")})
+	sink := &collectSink{}
+	sum, err := Run(m, Config{Parallelism: 2, Metrics: reg}, sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Jobs != 6 || sum.Failed != 2 {
+		t.Fatalf("jobs=%d failed=%d, want 6/2", sum.Jobs, sum.Failed)
+	}
+	s := reg.Snapshot()
+
+	if got := s.Value(MetricJobsStarted); got != 6 {
+		t.Fatalf("%s = %v, want 6", MetricJobsStarted, got)
+	}
+	succ, _ := s.Sample(MetricJobs, "succeeded")
+	fail, _ := s.Sample(MetricJobs, "failed")
+	if succ.Value != 4 || fail.Value != 2 {
+		t.Fatalf("jobs succeeded=%v failed=%v, want 4/2", succ.Value, fail.Value)
+	}
+	if _, ok := s.Sample(MetricJobs, "skipped"); ok {
+		t.Fatal("non-resume run must not report skipped jobs")
+	}
+
+	if got := s.Value(MetricCellsTotal); got != 6 {
+		t.Fatalf("%s = %v, want 6", MetricCellsTotal, got)
+	}
+	if got := s.Value(MetricCellsDone); got != 6 {
+		t.Fatalf("%s = %v, want 6", MetricCellsDone, got)
+	}
+
+	// All per-worker in-flight gauges must have drained back to zero.
+	if got := s.Value(MetricJobsInFlight); got != 0 {
+		t.Fatalf("%s sum = %v, want 0", MetricJobsInFlight, got)
+	}
+
+	// 3 distinct (trace, length) pairs across 6 jobs: exactly 3 cache
+	// misses (the generating lookups), the rest hits.
+	if got := s.Value(MetricTraceCacheMisses); got != 3 {
+		t.Fatalf("%s = %v, want 3", MetricTraceCacheMisses, got)
+	}
+	if got := s.Value(MetricTraceCacheHits); got != 3 {
+		t.Fatalf("%s = %v, want 3", MetricTraceCacheHits, got)
+	}
+
+	// Latency histograms: one queue-wait and one execution observation
+	// per job.
+	qw, _ := s.Sample(MetricQueueWaitSeconds)
+	jt, _ := s.Sample(MetricJobSeconds)
+	if qw.Count != 6 || jt.Count != 6 {
+		t.Fatalf("queue-wait count=%d job-seconds count=%d, want 6/6", qw.Count, jt.Count)
+	}
+
+	// Record stream accounting: every emitted record counted by kind.
+	cells, _ := s.Sample(MetricRecordsEmitted, KindCell)
+	if cells.Value != 6 {
+		t.Fatalf("emitted cells = %v, want 6", cells.Value)
+	}
+	emittedByKind := map[string]int{}
+	for _, r := range sum.Records {
+		k := r.Kind
+		if k == "" {
+			k = KindCell
+		}
+		emittedByKind[k]++
+	}
+	for kind, want := range emittedByKind {
+		smp, ok := s.Sample(MetricRecordsEmitted, kind)
+		if !ok || smp.Value != float64(want) {
+			t.Fatalf("emitted %s = %v, want %d", kind, smp.Value, want)
+		}
+	}
+
+	// The derived throughput gauge is registered and non-negative.
+	f, ok := s.Family(MetricBranchesPerSec)
+	if !ok || f.Type != "gauge" {
+		t.Fatalf("%s missing or wrong type %q", MetricBranchesPerSec, f.Type)
+	}
+	if v := s.Value(MetricBranchesPerSec); v < 0 {
+		t.Fatalf("branches/sec = %v", v)
+	}
+}
+
+func TestNoTraceCacheReportsNoCacheTraffic(t *testing.T) {
+	reg := metrics.NewRegistry()
+	m := metricsTestMatrix(t, []Model{fakeModel("m", flat(1))})
+	if _, err := Run(m, Config{Parallelism: 2, NoTraceCache: true, Metrics: reg}, &collectSink{}); err != nil {
+		t.Fatal(err)
+	}
+	s := reg.Snapshot()
+	if h, ms := s.Value(MetricTraceCacheHits), s.Value(MetricTraceCacheMisses); h != 0 || ms != 0 {
+		t.Fatalf("cache traffic with -notracecache: hits=%v misses=%v", h, ms)
+	}
+}
+
+// TestMetricsDoNotPerturbRecords locks the zero-overhead claim from the
+// result side: the record stream of an instrumented run is identical to
+// an uninstrumented one (modulo wall-clock telemetry, which fakeModel
+// doesn't produce).
+func TestMetricsDoNotPerturbRecords(t *testing.T) {
+	run := func(reg *metrics.Registry) []Record {
+		m := metricsTestMatrix(t, []Model{fakeModel("m", flat(3))})
+		sink := &collectSink{}
+		if _, err := Run(m, Config{Parallelism: 2, Metrics: reg}, sink); err != nil {
+			t.Fatal(err)
+		}
+		return sink.recs
+	}
+	plain, instrumented := run(nil), run(metrics.NewRegistry())
+	if len(plain) != len(instrumented) {
+		t.Fatalf("record counts differ: %d vs %d", len(plain), len(instrumented))
+	}
+	for i := range plain {
+		a, b := plain[i], instrumented[i]
+		if a.Kind != b.Kind || a.Model != b.Model || a.Trace != b.Trace ||
+			a.Scenario != b.Scenario || a.MPKI != b.MPKI || a.Mispredicts != b.Mispredicts {
+			t.Fatalf("record %d differs: %+v vs %+v", i, a, b)
+		}
+	}
+}
+
+func TestResumeStoreInstrumentation(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "store.jsonl")
+	m := metricsTestMatrix(t, []Model{fakeModel("m", flat(2))})
+	jobs, err := m.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Fresh store: every record is an append; nothing reused, no tail.
+	reg := metrics.NewRegistry()
+	sum, err := ResumeStoreFile(path, jobs, Config{Parallelism: 2, Metrics: reg}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := reg.Snapshot()
+	if got := s.Value(MetricStoreAppends); got != float64(len(sum.Records)) {
+		t.Fatalf("%s = %v, want %d", MetricStoreAppends, got, len(sum.Records))
+	}
+	ab, _ := s.Sample(MetricStoreAppendBytes)
+	if ab.Count != uint64(len(sum.Records)) || ab.Sum <= 0 {
+		t.Fatalf("append-bytes count=%d sum=%v", ab.Count, ab.Sum)
+	}
+	al, _ := s.Sample(MetricStoreAppendSeconds)
+	if al.Count != uint64(len(sum.Records)) {
+		t.Fatalf("append-seconds count=%d, want %d", al.Count, len(sum.Records))
+	}
+	if got := s.Value(MetricStoreReused); got != 0 {
+		t.Fatalf("fresh run reused = %v", got)
+	}
+	if got := s.Value(MetricStoreCrashTails); got != 0 {
+		t.Fatalf("fresh run crash tails = %v", got)
+	}
+
+	// Complete store: all 6 cells reused, skipped jobs reported, done
+	// gauge includes the reused cells.
+	reg = metrics.NewRegistry()
+	sum, err = ResumeStoreFile(path, jobs, Config{Parallelism: 2, Metrics: reg}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Skipped != 6 {
+		t.Fatalf("skipped = %d, want 6", sum.Skipped)
+	}
+	s = reg.Snapshot()
+	if got := s.Value(MetricStoreReused); got != 6 {
+		t.Fatalf("%s = %v, want 6", MetricStoreReused, got)
+	}
+	skipped, _ := s.Sample(MetricJobs, "skipped")
+	if skipped.Value != 6 {
+		t.Fatalf("jobs skipped = %v, want 6", skipped.Value)
+	}
+	if got := s.Value(MetricCellsDone); got != 6 {
+		t.Fatalf("%s = %v, want 6 (reused cells count as done)", MetricCellsDone, got)
+	}
+
+	// Torn final line: the resume truncates it and counts one crash tail.
+	if err := appendBytes(path, []byte(`{"kind":"cell","model":"m","trace":"INT0`)); err != nil {
+		t.Fatal(err)
+	}
+	reg = metrics.NewRegistry()
+	if _, err := ResumeStoreFile(path, jobs, Config{Parallelism: 2, Metrics: reg}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Snapshot().Value(MetricStoreCrashTails); got != 1 {
+		t.Fatalf("%s = %v, want 1", MetricStoreCrashTails, got)
+	}
+}
+
+func appendBytes(path string, b []byte) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(b); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func TestStartProgressRendersFromRegistry(t *testing.T) {
+	// nil registry/writer: a callable no-op.
+	StartProgress(nil, nil, 0)()
+
+	reg := metrics.NewRegistry()
+	m := metricsTestMatrix(t, []Model{panickyModel("m", "INT02")})
+	var sb strings.Builder
+	stop := StartProgress(&sb, reg, 50*1e6 /* 50ms */)
+	if _, err := Run(m, Config{Parallelism: 2, Metrics: reg}, &collectSink{}); err != nil {
+		t.Fatal(err)
+	}
+	stop()
+	stop() // idempotent
+
+	out := sb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	final := lines[len(lines)-1]
+	if !strings.Contains(final, "progress: 6/6 cells") {
+		t.Fatalf("final progress line = %q", final)
+	}
+	if !strings.Contains(final, "(2 failed)") {
+		t.Fatalf("failed count missing from %q", final)
+	}
+	if !strings.Contains(final, "ETA done") {
+		t.Fatalf("completed run should render ETA done: %q", final)
+	}
+	if !strings.Contains(final, "elapsed ") || !strings.Contains(final, "branches") {
+		t.Fatalf("rate/elapsed missing from %q", final)
+	}
+}

@@ -1,0 +1,111 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// The progress reporter: a periodic one-line stderr report (cells
+// done/total, aggregate branches/sec, ETA) driven entirely by the
+// metrics registry — the display layer reads the exact numbers a
+// /metrics scrape would, so the two can never disagree.
+
+// StartProgress launches a goroutine rendering a one-line progress
+// report to w every interval (default 2s when interval <= 0), reading
+// everything from reg. The returned stop function renders one final
+// line and waits for the reporter to exit; it is idempotent. A nil
+// registry or writer returns a no-op stop.
+func StartProgress(w io.Writer, reg *metrics.Registry, interval time.Duration) (stop func()) {
+	if reg == nil || w == nil {
+		return func() {}
+	}
+	if interval <= 0 {
+		interval = 2 * time.Second
+	}
+	p := &progressReporter{start: time.Now()}
+	done := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				p.render(w, reg.Snapshot())
+			case <-done:
+				p.render(w, reg.Snapshot())
+				return
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			close(done)
+			<-finished
+		})
+	}
+}
+
+type progressReporter struct {
+	start    time.Time
+	prevSet  bool
+	prevDone float64
+	prevAt   time.Time
+}
+
+func (p *progressReporter) render(w io.Writer, s metrics.Snapshot) {
+	now := time.Now()
+	done := s.Value(MetricCellsDone)
+	total := s.Value(MetricCellsTotal)
+	failed := 0.0
+	if smp, ok := s.Sample(MetricJobs, "failed"); ok {
+		failed = smp.Value
+	}
+	bps := s.Value(MetricBranchesPerSec)
+
+	// Cell-completion rate from the most recent window (falling back to
+	// the cumulative rate on the first tick), for the ETA.
+	rate := 0.0
+	if p.prevSet && done > p.prevDone && now.After(p.prevAt) {
+		rate = (done - p.prevDone) / now.Sub(p.prevAt).Seconds()
+	} else if el := now.Sub(p.start).Seconds(); el > 0 && done > 0 {
+		rate = done / el
+	}
+	p.prevSet, p.prevDone, p.prevAt = true, done, now
+
+	eta := "-"
+	switch {
+	case total > 0 && done >= total:
+		eta = "done"
+	case rate > 0:
+		eta = formatETA((total - done) / rate)
+	}
+	line := fmt.Sprintf("progress: %.0f/%.0f cells", done, total)
+	if failed > 0 {
+		line += fmt.Sprintf(" (%.0f failed)", failed)
+	}
+	fmt.Fprintf(w, "%s, %s branches, elapsed %s, ETA %s\n",
+		line, FormatBranchRate(bps), formatETA(now.Sub(p.start).Seconds()), eta)
+}
+
+// formatETA renders a second count compactly ("42s", "3m10s", "1h4m").
+func formatETA(secs float64) string {
+	if secs < 0 {
+		secs = 0
+	}
+	d := time.Duration(secs * float64(time.Second))
+	switch {
+	case d >= time.Hour:
+		return fmt.Sprintf("%dh%dm", int(d.Hours()), int(d.Minutes())%60)
+	case d >= time.Minute:
+		return fmt.Sprintf("%dm%ds", int(d.Minutes()), int(d.Seconds())%60)
+	default:
+		return fmt.Sprintf("%ds", int(d.Seconds()))
+	}
+}

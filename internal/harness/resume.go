@@ -241,9 +241,15 @@ func ResumeStoreFile(path string, jobs []Job, cfg Config, onPlan func(*ResumePla
 		return nil, err
 	}
 	defer unlock()
+	sm := newStoreMetrics(cfg.Metrics)
 	prior, validLen, err := ReadStoreFile(path)
 	if err != nil {
 		return nil, err
+	}
+	if sm != nil {
+		if fi, statErr := f.Stat(); statErr == nil && fi.Size() > validLen {
+			sm.crashTails.Inc()
+		}
 	}
 	plan := PlanResume(jobs, prior, head)
 	if n := len(plan.ConfigConflicts); n > 0 {
@@ -255,12 +261,15 @@ func ResumeStoreFile(path string, jobs []Job, cfg Config, onPlan func(*ResumePla
 			return nil, err
 		}
 	}
+	if sm != nil {
+		sm.reused.Add(uint64(len(plan.Reused)))
+	}
 	// Drop the crash tail so the appended records extend a well-formed
 	// stream (with O_APPEND, writes land at the new end).
 	if err := f.Truncate(validLen); err != nil {
 		return nil, err
 	}
-	return RunResume(plan, cfg, NewJSONLSink(f))
+	return RunResume(plan, cfg, NewJSONLSink(sm.meter(f)))
 }
 
 // RunResume executes only the plan's Todo jobs, streaming the new cell
@@ -273,8 +282,10 @@ func ResumeStoreFile(path string, jobs []Job, cfg Config, onPlan func(*ResumePla
 // them: re-resuming a complete store is a no-op append.
 func RunResume(plan *ResumePlan, cfg Config, sink Sink) (*Summary, error) {
 	sum := &Summary{Jobs: len(plan.Jobs), Skipped: len(plan.Jobs) - len(plan.Todo)}
-	emit, emitErr := emitter(sum, sink)
-	fresh := executeJobs(plan.Todo, cfg, func(r Record) {
+	rm := newRunMetrics(cfg.Metrics)
+	rm.beginRun(len(plan.Jobs), sum.Skipped)
+	emit, emitErr := emitter(sum, sink, rm)
+	fresh := executeJobs(plan.Todo, cfg, rm, func(r Record) {
 		if r.Failed() {
 			sum.Failed++
 		}

@@ -5,7 +5,9 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"time"
 
+	"repro/internal/metrics"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -29,6 +31,14 @@ type Config struct {
 	// pre-provenance behaviour, and what deterministic in-memory tests
 	// want).
 	Provenance *Provenance
+	// Metrics, when non-nil, receives the run's operational telemetry:
+	// job counts and latencies, per-worker in-flight gauges, trace-cache
+	// hits, cell progress, records per kind, branches retired and the
+	// derived branches/sec (see the Metric* constants and the sim
+	// package's families). Nil is a zero-overhead no-op — the hot path
+	// and result stream are bit-identical with telemetry off, which is
+	// why the registry is injected here rather than being a global.
+	Metrics *metrics.Registry
 }
 
 func (c Config) workers() int {
@@ -58,10 +68,15 @@ type Summary struct {
 }
 
 // traceCache memoises workload generation per (benchmark, length). Each
-// entry is built at most once even under concurrent demand.
+// entry is built at most once even under concurrent demand. The hit and
+// miss counters are nil-safe no-ops when telemetry is off; a "miss" is
+// the lookup that inserted the entry (and therefore pays the
+// generation), every other lookup is a hit even if it briefly waits on
+// the builder.
 type traceCache struct {
-	mu sync.Mutex
-	m  map[string]*traceEntry
+	mu           sync.Mutex
+	m            map[string]*traceEntry
+	hits, misses *metrics.Counter
 }
 
 type traceEntry struct {
@@ -78,6 +93,11 @@ func (c *traceCache) get(spec workload.Spec, branches int) *trace.Trace {
 		c.m[key] = e
 	}
 	c.mu.Unlock()
+	if ok {
+		c.hits.Inc()
+	} else {
+		c.misses.Inc()
+	}
 	e.once.Do(func() { e.tr = workload.Generate(spec, branches) })
 	return e.tr
 }
@@ -99,8 +119,10 @@ func Run(m *Matrix, cfg Config, sink Sink) (*Summary, error) {
 // RunJobs executes an already-expanded job list (see Matrix.Expand).
 func RunJobs(jobs []Job, cfg Config, sink Sink) (*Summary, error) {
 	sum := &Summary{Jobs: len(jobs)}
-	emit, emitErr := emitter(sum, sink)
-	results := executeJobs(jobs, cfg, func(r Record) {
+	rm := newRunMetrics(cfg.Metrics)
+	rm.beginRun(len(jobs), 0)
+	emit, emitErr := emitter(sum, sink, rm)
+	results := executeJobs(jobs, cfg, rm, func(r Record) {
 		if r.Failed() {
 			sum.Failed++
 		}
@@ -122,17 +144,23 @@ func RunJobs(jobs []Job, cfg Config, sink Sink) (*Summary, error) {
 // every record in job order as results complete (a reorder buffer
 // decouples worker completion order from visit order, so streaming
 // starts with the first finished cell), and returns all records.
-func executeJobs(jobs []Job, cfg Config, visit func(Record)) []Record {
+func executeJobs(jobs []Job, cfg Config, rm *runMetrics, visit func(Record)) []Record {
 	cache := &traceCache{m: make(map[string]*traceEntry)}
+	if rm != nil {
+		cache.hits, cache.misses = rm.cacheHits, rm.cacheMisses
+		rm.poolStart = time.Now()
+	}
 	results := make([]Record, len(jobs))
 	done := make([]chan struct{}, len(jobs))
 	for i := range done {
 		done[i] = make(chan struct{})
 	}
 
-	go ForEach(len(jobs), cfg.workers(), func(i int) {
+	go forEachWorker(len(jobs), cfg.workers(), func(w, i int) {
 		defer close(done[i])
 		j := jobs[i]
+		j.Opts.Metrics = cfg.Metrics
+		jobDone := rm.jobBegin(w)
 		var res Record
 		err := Protect(func() {
 			var tr *trace.Trace
@@ -146,6 +174,7 @@ func executeJobs(jobs []Job, cfg Config, visit func(Record)) []Record {
 		if err != nil {
 			res = failedRecord(j, err)
 		}
+		jobDone(res.Failed())
 		if cfg.Provenance != nil {
 			res.Provenance = cfg.Provenance
 		}
@@ -163,12 +192,13 @@ func executeJobs(jobs []Job, cfg Config, visit func(Record)) []Record {
 // not strand the worker pool or skip Close, so emit stops forwarding on
 // the first error (returned via the pointer) while callers keep
 // draining.
-func emitter(sum *Summary, sink Sink) (emit func(Record), emitErr *error) {
+func emitter(sum *Summary, sink Sink, rm *runMetrics) (emit func(Record), emitErr *error) {
 	var err error
 	return func(r Record) {
 		if err != nil {
 			return
 		}
+		rm.recordEmitted(r)
 		sum.Records = append(sum.Records, r)
 		err = sink.Emit(r)
 	}, &err

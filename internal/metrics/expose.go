@@ -1,0 +1,114 @@
+package metrics
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// Prometheus text exposition (format version 0.0.4): what a scraper
+// reads off /metrics. The output is rendered from a Snapshot, so it is
+// deterministic for a given registry state and shares its source of
+// truth with the progress reporter.
+
+// WritePrometheus renders the registry in Prometheus text exposition
+// format. A nil registry writes nothing.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	return WriteSnapshot(w, r.Snapshot())
+}
+
+// WriteSnapshot renders an already-captured snapshot in Prometheus text
+// exposition format.
+func WriteSnapshot(w io.Writer, s Snapshot) error {
+	bw := bufio.NewWriter(w)
+	for _, f := range s.Families {
+		if f.Help != "" {
+			fmt.Fprintf(bw, "# HELP %s %s\n", f.Name, escapeHelp(f.Help))
+		}
+		fmt.Fprintf(bw, "# TYPE %s %s\n", f.Name, f.Type)
+		for _, smp := range f.Samples {
+			if f.Type == "histogram" {
+				prefix := labelPairs(f.LabelNames, smp.LabelValues)
+				for _, b := range smp.Buckets {
+					fmt.Fprintf(bw, "%s_bucket{%sle=\"%s\"} %d\n", f.Name, prefix, formatUpper(b.Upper), b.Count)
+				}
+				fmt.Fprintf(bw, "%s_sum%s %s\n", f.Name, labelBlock(prefix), formatValue(smp.Sum))
+				fmt.Fprintf(bw, "%s_count%s %d\n", f.Name, labelBlock(prefix), smp.Count)
+				continue
+			}
+			fmt.Fprintf(bw, "%s%s %s\n", f.Name, labelBlock(labelPairs(f.LabelNames, smp.LabelValues)), formatValue(smp.Value))
+		}
+	}
+	return bw.Flush()
+}
+
+// labelPairs renders `k="v",` pairs with a trailing comma — the form a
+// histogram bucket line prepends to its own le label. Empty for
+// unlabelled samples.
+func labelPairs(names, values []string) string {
+	if len(names) == 0 {
+		return ""
+	}
+	var sb strings.Builder
+	for i, n := range names {
+		v := ""
+		if i < len(values) {
+			v = values[i]
+		}
+		sb.WriteString(n)
+		sb.WriteString(`="`)
+		sb.WriteString(escapeLabel(v))
+		sb.WriteString(`",`)
+	}
+	return sb.String()
+}
+
+// labelBlock turns trailing-comma pairs into a `{...}` block, or ""
+// when there are no labels.
+func labelBlock(pairs string) string {
+	if pairs == "" {
+		return ""
+	}
+	return "{" + pairs[:len(pairs)-1] + "}"
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func formatUpper(v float64) string {
+	if math.IsInf(v, +1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, +1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Handler serves the registry in text exposition format — the /metrics
+// endpoint. A nil registry serves an empty (valid) exposition.
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}

@@ -1,0 +1,358 @@
+package metrics
+
+import (
+	"io"
+	"net/http/httptest"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// --- nil no-op contract ---
+
+func TestNilRegistryIsNoOp(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x_total", "")
+	c.Inc()
+	c.Add(5)
+	if c.Value() != 0 {
+		t.Fatalf("nil counter Value = %d", c.Value())
+	}
+	g := r.Gauge("x", "")
+	g.Set(3)
+	g.Inc()
+	g.Dec()
+	g.Add(2)
+	if g.Value() != 0 {
+		t.Fatalf("nil gauge Value = %v", g.Value())
+	}
+	h := r.Histogram("x_seconds", "", []float64{1})
+	h.Observe(0.5)
+	if h.Count() != 0 || h.Sum() != 0 {
+		t.Fatalf("nil histogram Count=%d Sum=%v", h.Count(), h.Sum())
+	}
+	cv := r.CounterVec("x_by_total", "", "k")
+	cv.With("a").Inc()
+	gv := r.GaugeVec("x_by", "", "k")
+	gv.With("a").Set(1)
+	hv := r.HistogramVec("x_by_seconds", "", []float64{1}, "k")
+	hv.With("a").Observe(1)
+	r.GaugeFunc("x_fn", "", func() float64 { return 42 })
+	s := r.Snapshot()
+	if len(s.Families) != 0 {
+		t.Fatalf("nil registry snapshot has %d families", len(s.Families))
+	}
+	if err := r.WritePrometheus(io.Discard); err != nil {
+		t.Fatalf("nil WritePrometheus: %v", err)
+	}
+}
+
+// --- basic semantics ---
+
+func TestCounterGaugeHistogram(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("jobs_total", "jobs")
+	c.Inc()
+	c.Add(9)
+	if c.Value() != 10 {
+		t.Fatalf("counter = %d, want 10", c.Value())
+	}
+	// Idempotent registration returns the same child.
+	if r.Counter("jobs_total", "jobs") != c {
+		t.Fatal("re-registration returned a different counter")
+	}
+
+	g := r.Gauge("depth", "")
+	g.Set(4)
+	g.Add(1.5)
+	g.Dec()
+	if g.Value() != 4.5 {
+		t.Fatalf("gauge = %v, want 4.5", g.Value())
+	}
+
+	h := r.Histogram("lat_seconds", "", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.5, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("histogram count = %d, want 5", h.Count())
+	}
+	if got, want := h.Sum(), 0.05+0.5+0.5+5+50; got != want {
+		t.Fatalf("histogram sum = %v, want %v", got, want)
+	}
+	smp, ok := r.Snapshot().Sample("lat_seconds")
+	if !ok {
+		t.Fatal("lat_seconds sample missing")
+	}
+	wantCum := []uint64{1, 3, 4, 5} // <=0.1, <=1, <=10, +Inf
+	for i, b := range smp.Buckets {
+		if b.Count != wantCum[i] {
+			t.Fatalf("bucket %d cumulative = %d, want %d", i, b.Count, wantCum[i])
+		}
+	}
+}
+
+func TestVecChildren(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("jobs_total", "", "result")
+	v.With("ok").Add(3)
+	v.With("fail").Inc()
+	v.With("ok").Inc()
+	s := r.Snapshot()
+	if smp, _ := s.Sample("jobs_total", "ok"); smp.Value != 4 {
+		t.Fatalf("ok child = %v, want 4", smp.Value)
+	}
+	if smp, _ := s.Sample("jobs_total", "fail"); smp.Value != 1 {
+		t.Fatalf("fail child = %v, want 1", smp.Value)
+	}
+	if got := s.Value("jobs_total"); got != 5 {
+		t.Fatalf("summed value = %v, want 5", got)
+	}
+}
+
+func TestGaugeFuncReplaceable(t *testing.T) {
+	r := NewRegistry()
+	r.GaugeFunc("rate", "", func() float64 { return 1 })
+	if got := r.Snapshot().Value("rate"); got != 1 {
+		t.Fatalf("rate = %v, want 1", got)
+	}
+	// Re-registration replaces the callback (per-run re-anchor).
+	r.GaugeFunc("rate", "", func() float64 { return 2 })
+	if got := r.Snapshot().Value("rate"); got != 2 {
+		t.Fatalf("rate after replace = %v, want 2", got)
+	}
+}
+
+func TestSchemaMismatchPanics(t *testing.T) {
+	for name, f := range map[string]func(r *Registry){
+		"type":    func(r *Registry) { r.Gauge("m", "") },
+		"labels":  func(r *Registry) { r.CounterVec("m", "", "k") },
+		"buckets": func(r *Registry) { r.Histogram("h", "", []float64{1, 2}) },
+	} {
+		t.Run(name, func(t *testing.T) {
+			r := NewRegistry()
+			r.Counter("m", "")
+			r.Histogram("h", "", []float64{1})
+			defer func() {
+				if recover() == nil {
+					t.Fatal("schema mismatch did not panic")
+				}
+			}()
+			f(r)
+		})
+	}
+}
+
+func TestInvalidNamesPanic(t *testing.T) {
+	r := NewRegistry()
+	for _, fn := range []func(){
+		func() { r.Counter("bad name", "") },
+		func() { r.Counter("0leading", "") },
+		func() { r.CounterVec("ok_total", "", "bad label") },
+		func() { r.CounterVec("ok2_total", "", "__reserved") },
+		func() { r.Histogram("h_total", "", nil) },
+		func() { r.Histogram("h2_total", "", []float64{2, 1}) },
+		func() { ExpBuckets(0, 2, 4) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestExpBuckets(t *testing.T) {
+	got := ExpBuckets(1, 4, 4)
+	want := []float64{1, 4, 16, 64}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ExpBuckets = %v, want %v", got, want)
+		}
+	}
+}
+
+// --- deterministic snapshot / golden exposition ---
+
+func populate(r *Registry) {
+	r.Counter("bp_branches_total", "Branches simulated.").Add(1000)
+	v := r.CounterVec("bp_jobs_total", "Jobs by result.", "result")
+	v.With("succeeded").Add(7)
+	v.With("failed").Inc()
+	r.Gauge("bp_in_flight", "Jobs in flight.").Set(3)
+	h := r.Histogram("bp_job_seconds", "Job latency.", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+	r.GaugeFunc("bp_rate", "Derived rate.", func() float64 { return 12.5 })
+}
+
+const golden = `# HELP bp_branches_total Branches simulated.
+# TYPE bp_branches_total counter
+bp_branches_total 1000
+# HELP bp_in_flight Jobs in flight.
+# TYPE bp_in_flight gauge
+bp_in_flight 3
+# HELP bp_job_seconds Job latency.
+# TYPE bp_job_seconds histogram
+bp_job_seconds_bucket{le="0.1"} 1
+bp_job_seconds_bucket{le="1"} 2
+bp_job_seconds_bucket{le="+Inf"} 3
+bp_job_seconds_sum 5.55
+bp_job_seconds_count 3
+# HELP bp_jobs_total Jobs by result.
+# TYPE bp_jobs_total counter
+bp_jobs_total{result="failed"} 1
+bp_jobs_total{result="succeeded"} 7
+# HELP bp_rate Derived rate.
+# TYPE bp_rate gauge
+bp_rate 12.5
+`
+
+func TestGoldenExposition(t *testing.T) {
+	// Two independently populated registries must render byte-identically
+	// — families sorted by name, samples by label value.
+	for i := 0; i < 2; i++ {
+		r := NewRegistry()
+		populate(r)
+		var sb strings.Builder
+		if err := r.WritePrometheus(&sb); err != nil {
+			t.Fatal(err)
+		}
+		if sb.String() != golden {
+			t.Fatalf("exposition mismatch (run %d):\n--- got ---\n%s--- want ---\n%s", i, sb.String(), golden)
+		}
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.CounterVec("esc_total", "", "k").With("a\\b\"c\nd").Inc()
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `esc_total{k="a\\b\"c\nd"} 1` + "\n"
+	if !strings.Contains(sb.String(), want) {
+		t.Fatalf("escaped label missing:\n%s\nwant line: %s", sb.String(), want)
+	}
+}
+
+// --- httptest scrape ---
+
+// sampleLine matches a valid exposition sample line (name, optional
+// label block, value).
+var sampleLine = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*"(,[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*")*\})? (-?[0-9.e+-]+|\+Inf|-Inf|NaN)$`)
+
+func TestHandlerScrape(t *testing.T) {
+	r := NewRegistry()
+	populate(r)
+	srv := httptest.NewServer(Handler(r))
+	defer srv.Close()
+
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Every line must be a comment or a well-formed sample; every TYPE
+	// must be a legal exposition type; histograms must carry a +Inf
+	// bucket whose count equals _count.
+	types := map[string]string{}
+	samples := 0
+	for _, line := range strings.Split(strings.TrimRight(string(body), "\n"), "\n") {
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.Fields(line)
+			if len(parts) != 4 {
+				t.Fatalf("malformed TYPE line: %q", line)
+			}
+			switch parts[3] {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				t.Fatalf("illegal type %q in %q", parts[3], line)
+			}
+			types[parts[2]] = parts[3]
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !sampleLine.MatchString(line) {
+			t.Fatalf("malformed sample line: %q", line)
+		}
+		samples++
+	}
+	if samples == 0 {
+		t.Fatal("scrape produced no samples")
+	}
+	if types["bp_jobs_total"] != "counter" || types["bp_job_seconds"] != "histogram" || types["bp_rate"] != "gauge" {
+		t.Fatalf("unexpected types: %v", types)
+	}
+	if !strings.Contains(string(body), `bp_job_seconds_bucket{le="+Inf"} 3`) {
+		t.Fatal("missing +Inf bucket")
+	}
+}
+
+// --- concurrency hammer (meaningful under -race) ---
+
+func TestConcurrencyHammer(t *testing.T) {
+	r := NewRegistry()
+	const goroutines = 16
+	const iters = 2000
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			<-start
+			// Every goroutine races registration and updates on the same
+			// names, plus snapshots/scrapes interleaved with writes.
+			c := r.Counter("hammer_total", "")
+			gv := r.GaugeVec("hammer_gauge", "", "w")
+			h := r.Histogram("hammer_seconds", "", ExpBuckets(0.001, 4, 6))
+			lbl := string(rune('a' + g%4))
+			for i := 0; i < iters; i++ {
+				c.Inc()
+				gv.With(lbl).Add(1)
+				h.Observe(float64(i%100) / 1000)
+				if i%500 == 0 {
+					_ = r.Snapshot()
+					_ = r.WritePrometheus(io.Discard)
+				}
+				if i%250 == 0 {
+					r.GaugeFunc("hammer_rate", "", func() float64 { return float64(i) })
+				}
+			}
+		}(g)
+	}
+	close(start)
+	wg.Wait()
+
+	s := r.Snapshot()
+	if got := s.Value("hammer_total"); got != goroutines*iters {
+		t.Fatalf("hammer_total = %v, want %d", got, goroutines*iters)
+	}
+	if got := s.Value("hammer_gauge"); got != goroutines*iters {
+		t.Fatalf("hammer_gauge sum = %v, want %d", got, goroutines*iters)
+	}
+	smp, _ := s.Sample("hammer_seconds")
+	if smp.Count != goroutines*iters {
+		t.Fatalf("hammer_seconds count = %d, want %d", smp.Count, goroutines*iters)
+	}
+	if last := smp.Buckets[len(smp.Buckets)-1]; last.Count != smp.Count {
+		t.Fatalf("+Inf bucket %d != count %d", last.Count, smp.Count)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/gshare"
+	"repro/internal/metrics"
 	"repro/internal/predictor"
 	"repro/internal/rng"
 	"repro/internal/tage"
@@ -117,5 +118,32 @@ func TestRunZeroAllocSteadyState(t *testing.T) {
 					m.name, sc, allocsShort)
 			}
 		}
+	}
+}
+
+// TestRunZeroAllocSteadyStateWithMetrics asserts that attaching a live
+// telemetry registry preserves 0 allocs/branch: the retired counter is
+// resolved once per run and advanced once per decode batch, so the
+// per-branch loop stays allocation-free. The fixed per-run budget grows
+// by a few handle resolutions (counter lookup, flush CounterVec), and
+// no more.
+func TestRunZeroAllocSteadyStateWithMetrics(t *testing.T) {
+	short := benchTrace(2000)
+	long := benchTrace(8000)
+	reg := metrics.NewRegistry()
+	p := tage.New(tage.Reference())
+	opt := Options{Scenario: predictor.ScenarioA, Metrics: reg}
+	RunTrace(p, long, opt) // warm up, and register the metric families
+	allocsShort := testing.AllocsPerRun(10, func() { RunTrace(p, short, opt) })
+	allocsLong := testing.AllocsPerRun(10, func() { RunTrace(p, long, opt) })
+	if allocsLong != allocsShort {
+		t.Errorf("allocs grow with trace length under telemetry (%v for 2k branches, %v for 8k): hot path allocates per branch",
+			allocsShort, allocsLong)
+	}
+	if allocsShort > 12 {
+		t.Errorf("%v allocations per instrumented run, want <= 12 fixed setup allocations", allocsShort)
+	}
+	if got := reg.Snapshot().Value(MetricBranchesRetired); got <= 0 {
+		t.Fatalf("%s = %v after instrumented runs", MetricBranchesRetired, got)
 	}
 }

@@ -18,8 +18,27 @@ import (
 
 	"repro/internal/bitutil"
 	"repro/internal/memarray"
+	"repro/internal/metrics"
 	"repro/internal/predictor"
 	"repro/internal/trace"
+)
+
+// Simulator-owned telemetry families (registered on Options.Metrics when
+// set). They live here, not in the harness, because the simulator is the
+// layer that retires branches; the harness derives its branches/sec
+// gauge from the same counter, so the names are shared constants.
+const (
+	// MetricBranchesRetired counts branches simulated (retired), summed
+	// across every cell touching the registry. Advanced once per decode
+	// batch, so a live scrape sees progress inside a long cell while the
+	// per-branch hot path stays allocation- and atomic-free.
+	MetricBranchesRetired = "bpbench_branches_retired_total"
+	// HelpBranchesRetired is the family's help text (exported so the
+	// harness registers the identical family when deriving rates).
+	HelpBranchesRetired = "Branches simulated (retired), across all cells."
+	// MetricPipelineFlushes counts misprediction-triggered pipeline
+	// drains, by update scenario (flushed once per run).
+	MetricPipelineFlushes = "bpbench_pipeline_flushes_total"
 )
 
 // Options configures one simulation run.
@@ -37,6 +56,11 @@ type Options struct {
 	// metric (default 20). The paper notes MPPKI is globally proportional
 	// to the misprediction count; we keep the penalty model simple.
 	PenaltyBase float64
+	// Metrics, when non-nil, receives simulator telemetry: branches
+	// retired (advanced per decode batch, so live progress is visible
+	// inside a long trace) and per-scenario pipeline flush counts. Nil
+	// keeps the run telemetry-free with zero hot-path overhead.
+	Metrics *metrics.Registry
 }
 
 // Default pipeline parameters, applied when Options leaves the fields
@@ -176,6 +200,15 @@ func Run[C any](p predictor.Predictor[C], name, category string, src trace.Sourc
 		count--
 	}
 
+	// Telemetry handles resolve once per run; the counter is advanced per
+	// decode batch (one nil check and one atomic add per 256 branches),
+	// so a live /metrics scrape sees progress inside a long cell without
+	// the per-branch path ever touching the registry.
+	var retiredCtr *metrics.Counter
+	if opt.Metrics != nil {
+		retiredCtr = opt.Metrics.Counter(MetricBranchesRetired, HelpBranchesRetired)
+	}
+
 	start := time.Now()
 	batcher, _ := src.(trace.Batcher)
 	var batch [decodeBatch]trace.Branch
@@ -190,6 +223,7 @@ func Run[C any](p predictor.Predictor[C], name, category string, src trace.Sourc
 		if n == 0 {
 			break
 		}
+		retiredCtr.Add(uint64(n))
 		for _, b := range batch[:n] {
 			// Retire branches whose time has come (in order).
 			for count > 0 && retireAt[head] <= seq {
@@ -243,6 +277,14 @@ func Run[C any](p predictor.Predictor[C], name, category string, src trace.Sourc
 	stats.RetireReads += retireReads
 	stats.WriteEvents += writeEvents
 	stats.RetiredBranch += retiredCount
+
+	if opt.Metrics != nil {
+		// Each misprediction drains the in-flight window — a pipeline
+		// flush. Accumulated locally, flushed once per run.
+		opt.Metrics.CounterVec(MetricPipelineFlushes,
+			"Misprediction-triggered pipeline flushes, by update scenario.",
+			"scenario").With(opt.Scenario.Letter()).Add(mispreds)
+	}
 
 	res := Result{
 		Trace:       name,
