@@ -142,6 +142,7 @@ func BenchModels(names []string) ([]BenchModel, error) {
 			Spec:        canon,
 			StorageBits: m.StorageBits(),
 			Run:         m.Run,
+			NewRunner:   m.NewRunner,
 		}
 		if spec.CanScale() {
 			base := spec
@@ -157,7 +158,7 @@ func BenchModels(names []string) ([]BenchModel, error) {
 					// (the harness backfills the scaled spec string).
 					return BenchModel{Run: func(tr *Trace, opt Options) Result { panic(err) }}
 				}
-				return BenchModel{Spec: scaled.Canonical(), StorageBits: sm.StorageBits(), Run: sm.Run}
+				return BenchModel{Spec: scaled.Canonical(), StorageBits: sm.StorageBits(), Run: sm.Run, NewRunner: sm.NewRunner}
 			}
 		}
 		out = append(out, bm)

@@ -97,9 +97,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		format      = fs.String("format", "table", "output format: table, jsonl or csv")
 		outPath     = fs.String("o", "", "write records to this file instead of stdout")
 		parallel    = fs.Int("parallelism", 0, "max concurrent jobs (default: NumCPU)")
+		cellPar     = fs.Int("cell-par", 0, "intra-cell workers: shard each cell group's traces across this many goroutines (deterministic; 0/1 = off)")
 		window      = fs.Int("window", 0, "in-flight branch window (default 24)")
 		execDelay   = fs.Int("execdelay", 0, "fetch-to-execute distance in branches (default 6)")
 		noCache     = fs.Bool("notracecache", false, "regenerate the trace for every job instead of sharing per (trace, length)")
+		noPool      = fs.Bool("nopredictorpool", false, "construct a fresh predictor per cell instead of Reset-reusing a pooled instance per worker")
 		noAgg       = fs.Bool("noaggregates", false, "suppress category/hard/suite rollup records")
 		perf        = fs.Bool("perf", false, "print a simulator-throughput (branches/sec) table to stderr after the run")
 		list        = fs.Bool("list", false, "list models and traces, then exit")
@@ -127,6 +129,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	if *window < 0 || *execDelay < 0 {
 		log.Error("bpbench: -window and -execdelay must be non-negative (0 = default)")
+		return 2
+	}
+	if *cellPar < 0 {
+		log.Error("bpbench: -cell-par must be non-negative (0 = off)")
 		return 2
 	}
 	lengths, err := parseLengths(*branches)
@@ -233,12 +239,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	m.Window = *window
 	m.ExecDelay = *execDelay
 	m.DeltaLogs = deltas
+	m.IntraCellWorkers = *cellPar
 
 	// Every record bpbench writes — stdout, -o file, or resume store —
 	// is stamped with the revision that produced it, so saved runs stay
 	// interpretable after the predictor changes underneath them.
 	prov := repro.CurrentProvenance()
-	cfg := repro.BenchConfig{Parallelism: *parallel, NoTraceCache: *noCache, NoAggregates: *noAgg, Provenance: &prov, Metrics: reg}
+	cfg := repro.BenchConfig{Parallelism: *parallel, IntraCellWorkers: *cellPar, NoTraceCache: *noCache, NoAggregates: *noAgg, NoPredictorPool: *noPool, Provenance: &prov, Metrics: reg}
 	if *resume != "" {
 		// The store is the output: format and destination are fixed.
 		if *outPath != "" {

@@ -42,10 +42,16 @@ func main() {
 	traceName := flag.String("trace", "", "single trace to run (default: all 40)")
 	branches := flag.Int("branches", 500000, "branches per trace")
 	window := flag.Int("window", 24, "in-flight branch window")
+	cellPar := flag.Int("cell-par", 1, "run traces across this many goroutines (deterministic: per-trace results are byte-identical to a serial run)")
 	list := flag.Bool("list", false, "list models and traces, then exit")
 	verbose, quiet := cli.Verbosity(flag.CommandLine)
 	flag.Parse()
 	log := cli.NewLogger(os.Stderr, *verbose, *quiet)
+
+	if *cellPar < 1 {
+		log.Error(fmt.Sprintf("bpsim: -cell-par must be >= 1 (got %d)", *cellPar))
+		os.Exit(2)
+	}
 
 	if *list {
 		fmt.Println("models: ", strings.Join(repro.ModelNames(), " "))
@@ -68,10 +74,13 @@ func main() {
 	fmt.Printf("# model=%s storage=%dKbit scenario=%s branches/trace=%d\n",
 		m.Name(), m.StorageBits()/1024, sc, *branches)
 
+	// With -cell-par 1 the suite still goes through one pooled instance
+	// (RunSuite's single shard): the predictor's tables and the simulation
+	// buffers are allocated once and Reset between traces, which is
+	// byte-identical to a fresh instance per trace.
+	results := m.RunSuite(names, *branches, opt, *cellPar)
 	suite := &repro.Suite{}
-	for _, name := range names {
-		tr := repro.GenerateTrace(name, *branches)
-		res := m.Run(tr, opt)
+	for _, res := range results {
 		suite.Add(res)
 		fmt.Printf("%-10s MPKI=%7.3f MPPKI=%8.2f mispredict=%5.2f%% accesses/branch=%.3f\n",
 			res.Trace, res.MPKI, res.MPPKI, 100*res.Misprediction,

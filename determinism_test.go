@@ -52,13 +52,24 @@ func assertIdenticalRuns(t *testing.T, m *BenchMatrix) {
 	t.Helper()
 	prov := CurrentProvenance()
 	a := normalizedJSONL(t, m, BenchConfig{Parallelism: 4, Provenance: &prov})
-	b := normalizedJSONL(t, m, BenchConfig{Parallelism: 1, NoTraceCache: true})
-	if len(a) != len(b) || len(a) == 0 {
-		t.Fatalf("runs emitted %d vs %d records", len(a), len(b))
+	configs := []BenchConfig{
+		{Parallelism: 1, NoTraceCache: true},
+		// Pooling off: fresh predictor per cell must match Reset reuse.
+		{Parallelism: 2, NoPredictorPool: true},
+		// Intra-cell sharding on: each cell group's traces split across
+		// goroutines must land byte-identically where the serial run put them.
+		{Parallelism: 1, IntraCellWorkers: 4},
+		{Parallelism: 2, IntraCellWorkers: 4, NoPredictorPool: true},
 	}
-	for i := range a {
-		if !bytes.Equal(a[i], b[i]) {
-			t.Fatalf("record %d differs between identically-seeded runs:\n%s\nvs\n%s", i, a[i], b[i])
+	for _, cfg := range configs {
+		b := normalizedJSONL(t, m, cfg)
+		if len(a) != len(b) || len(a) == 0 {
+			t.Fatalf("cfg %+v: runs emitted %d vs %d records", cfg, len(a), len(b))
+		}
+		for i := range a {
+			if !bytes.Equal(a[i], b[i]) {
+				t.Fatalf("cfg %+v: record %d differs between identically-seeded runs:\n%s\nvs\n%s", cfg, i, a[i], b[i])
+			}
 		}
 	}
 }

@@ -49,6 +49,18 @@ func New(logPred, logHyst uint, stats *memarray.Stats) *Table {
 	return t
 }
 
+// Reset returns every counter to the weakly not-taken construction state
+// (pred 0, hyst 1), reusing both arrays. The shared stats object is left
+// untouched: it may be owned by an enclosing predictor that resets it once.
+func (t *Table) Reset() {
+	for i := range t.pred {
+		t.pred[i] = 0
+	}
+	for i := range t.hyst {
+		t.hyst[i] = 1
+	}
+}
+
 // Index returns the prediction-array index for pc.
 func (t *Table) Index(pc uint64) uint32 { return uint32(pc>>2) & t.pMask }
 
@@ -69,40 +81,40 @@ func (t *Table) Read(pi uint32) int32 {
 // Taken reports the direction predicted by a counter value.
 func Taken(ctr int32) bool { return ctr >= 2 }
 
-// Write stores the 2-bit counter newCtr at index pi, eliding silent writes
-// per bit-array (the prediction and hysteresis arrays are physically
-// distinct, so each is accounted separately).
+// Write stores the 2-bit counter newCtr at index pi, accounting silent
+// writes per bit-array (the prediction and hysteresis arrays are physically
+// distinct, so each is accounted separately). The store itself is
+// unconditional — rewriting an equal byte is free, while branching on the
+// comparison costs a mispredict on this data-dependent path — and only the
+// accounting uses the comparison result.
 func (t *Table) Write(pi uint32, newCtr int32) {
 	p := uint8(newCtr >> 1)
 	h := uint8(newCtr & 1)
-	if t.pred[pi] != p {
-		t.pred[pi] = p
-		t.stats.RecordWrite(true)
-	} else {
-		t.stats.RecordWrite(false)
-	}
+	effP := t.pred[pi] != p
+	t.pred[pi] = p
+	t.stats.RecordWrite(effP)
 	hi := pi >> (t.hShift & 31)
-	if t.hyst[hi] != h {
-		t.hyst[hi] = h
-		t.stats.RecordWrite(true)
-	} else {
-		t.stats.RecordWrite(false)
-	}
+	effH := t.hyst[hi] != h
+	t.hyst[hi] = h
+	t.stats.RecordWrite(effH)
 }
 
 // Next returns the counter moved one step toward the outcome, saturating
-// in [0, 3].
+// in [0, 3]. Conditional-move form: the outcome is a coin flip, so a branch
+// on it would mispredict half the time.
 func Next(ctr int32, taken bool) int32 {
+	d := int32(-1)
 	if taken {
-		if ctr < 3 {
-			return ctr + 1
-		}
-		return 3
+		d = 1
 	}
-	if ctr > 0 {
-		return ctr - 1
+	n := ctr + d
+	if n > 3 {
+		n = 3
 	}
-	return 0
+	if n < 0 {
+		n = 0
+	}
+	return n
 }
 
 // StorageBits returns the storage cost in bits.
@@ -117,18 +129,19 @@ type Ctx struct {
 // Standalone wraps Table as a complete predictor (used by the Figure 3
 // delayed-update example and tests).
 type Standalone struct {
-	t *Table
+	t    *Table
+	name string // formatted once: Name is on the per-run result path
 }
 
 // NewStandalone returns a standalone bimodal predictor.
 func NewStandalone(logPred, logHyst uint) *Standalone {
-	return &Standalone{t: New(logPred, logHyst, nil)}
+	s := &Standalone{t: New(logPred, logHyst, nil)}
+	s.name = fmt.Sprintf("bimodal-%dKb", s.StorageBits()/1024)
+	return s
 }
 
 // Name implements predictor.Predictor.
-func (s *Standalone) Name() string {
-	return fmt.Sprintf("bimodal-%dKb", s.StorageBits()/1024)
-}
+func (s *Standalone) Name() string { return s.name }
 
 // StorageBits implements predictor.Predictor.
 func (s *Standalone) StorageBits() int { return s.t.StorageBits() }
@@ -154,3 +167,9 @@ func (s *Standalone) Retire(pc uint64, taken bool, ctx *Ctx, reread bool) {
 
 // AccessStats implements predictor.Predictor.
 func (s *Standalone) AccessStats() *memarray.Stats { return s.t.stats }
+
+// Reset implements predictor.Predictor.
+func (s *Standalone) Reset() {
+	s.t.Reset()
+	s.t.stats.Reset()
+}

@@ -9,45 +9,76 @@
 // by GEHL-style adder trees (Seznec, ISCA 2005).
 package bitutil
 
+// The counter helpers below are written in conditional-move form (compute
+// both outcomes, select with a comparison) rather than with taken-dependent
+// branches: the direction of a simulated branch is close to a coin flip, so
+// a branch on it in the per-branch hot path mispredicts half the time.
+
 // SatIncSigned increments a signed counter saturating at max for the given
 // width in bits. Width must be in [1, 63].
 func SatIncSigned(v int32, bits uint) int32 {
-	if max := int32(1)<<(bits-1) - 1; v < max {
-		return v + 1
+	max := int32(1)<<(bits-1) - 1
+	d := int32(0)
+	if v < max {
+		d = 1
 	}
-	return v
+	return v + d
 }
 
 // SatDecSigned decrements a signed counter saturating at min for the given
 // width in bits.
 func SatDecSigned(v int32, bits uint) int32 {
-	if min := -(int32(1) << (bits - 1)); v > min {
-		return v - 1
+	min := -(int32(1) << (bits - 1))
+	d := int32(0)
+	if v > min {
+		d = 1
 	}
-	return v
+	return v - d
 }
 
 // SatUpdateSigned moves a signed counter toward taken (up) or not-taken
 // (down), saturating at the bounds for the given width.
 func SatUpdateSigned(v int32, taken bool, bits uint) int32 {
+	max := int32(1)<<(bits-1) - 1
+	d := int32(-1)
 	if taken {
-		return SatIncSigned(v, bits)
+		d = 1
 	}
-	return SatDecSigned(v, bits)
+	nv := v + d
+	if nv > max {
+		nv = max
+	}
+	if nv < -max-1 {
+		nv = -max - 1
+	}
+	return nv
 }
 
 // SatIncUnsigned increments an unsigned counter saturating at 2^bits-1.
 func SatIncUnsigned(v uint32, bits uint) uint32 {
-	if max := uint32(1)<<bits - 1; v < max {
-		return v + 1
+	max := uint32(1)<<bits - 1
+	d := uint32(0)
+	if v < max {
+		d = 1
 	}
-	return v
+	return v + d
 }
 
 // SatDecUnsigned decrements an unsigned counter saturating at zero.
 func SatDecUnsigned(v uint32) uint32 {
+	d := uint32(0)
 	if v > 0 {
-		return v - 1
+		d = 1
+	}
+	return v - d
+}
+
+// B2u returns 1 for true and 0 for false, in a form the compiler lowers to
+// a flag materialisation instead of a branch.
+func B2u(b bool) uint32 {
+	var v uint32
+	if b {
+		v = 1
 	}
 	return v
 }

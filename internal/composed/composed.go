@@ -128,7 +128,7 @@ func (p *Predictor) LSC() *lsc.Corrector { return p.lsc }
 // confidence-carrying term added to the corrector sums with weight 8.
 func tageCtrCentered(c *tage.Ctx) int32 {
 	if c.Provider > 0 {
-		return bitutil.Centered(int32(c.Ctrs[c.Provider-1]))
+		return bitutil.Centered(int32(c.Ctr(c.Provider - 1)))
 	}
 	// Map the 2-bit bimodal counter (0..3) onto a signed value (-2..1).
 	return bitutil.Centered(c.BimCtr - 2)
@@ -190,6 +190,23 @@ func (p *Predictor) Retire(pc uint64, taken bool, ctx *Ctx, reread bool) {
 
 // AccessStats implements predictor.Predictor.
 func (p *Predictor) AccessStats() *memarray.Stats { return p.tage.AccessStats() }
+
+// Reset implements predictor.Predictor: every configured component back to
+// its construction state. All components share the TAGE predictor's stats
+// object, which tage.Reset resets exactly once; the side predictors' Reset
+// methods leave stats to their owner.
+func (p *Predictor) Reset() {
+	p.tage.Reset()
+	if p.loop != nil {
+		p.loop.Reset()
+	}
+	if p.sc != nil {
+		p.sc.Reset()
+	}
+	if p.lsc != nil {
+		p.lsc.Reset()
+	}
+}
 
 // --- Named configurations from the paper ---
 

@@ -31,6 +31,10 @@ type Config struct {
 	ExecDelay int
 	// Parallelism bounds concurrent trace simulations (default NumCPU).
 	Parallelism int
+	// IntraCellWorkers shards each cell group's traces across this many
+	// goroutines in the harness-backed sweeps (see harness.Config); the
+	// results are byte-identical to a serial run. Zero or one disables it.
+	IntraCellWorkers int
 	// ResultStore, when set, routes the harness-backed sweeps (E11's
 	// Figure 9 grid) through the resumable append-only result store at
 	// this path: cells already present are reused, only the missing or
@@ -72,7 +76,7 @@ func (c Config) simOptions(sc predictor.Scenario) sim.Options {
 // reused cells recorded under a different git SHA than HEAD surface as
 // notes for the report rather than vanishing silently.
 func runMatrix(m *harness.Matrix, cfg Config) (recs []harness.Record, notes []string, err error) {
-	hcfg := harness.Config{Parallelism: cfg.Parallelism}
+	hcfg := harness.Config{Parallelism: cfg.Parallelism, IntraCellWorkers: cfg.IntraCellWorkers}
 	if cfg.ResultStore == "" {
 		sum, err := harness.Run(m, hcfg, harness.Discard)
 		if err != nil {

@@ -190,6 +190,18 @@ func scalableModel[C any](name string, mk func(d int) func() predictor.Predictor
 			Run: func(tr *trace.Trace, opt sim.Options) sim.Result {
 				return sim.RunTrace(mk(d)(), tr, opt)
 			},
+			NewRunner: func() func(tr *trace.Trace, opt sim.Options) sim.Result {
+				p := mk(d)()
+				var rn sim.Runner[C]
+				dirty := false
+				return func(tr *trace.Trace, opt sim.Options) sim.Result {
+					if dirty {
+						p.Reset()
+					}
+					dirty = true
+					return rn.RunTrace(p, tr, opt)
+				}
+			},
 		}
 	}
 	m := scale(0)

@@ -78,6 +78,7 @@ type Predictor struct {
 	folded []histories.Folded
 	lht    *histories.Local
 	lwidth uint
+	name   string // formatted once: Name is on the per-run result path
 }
 
 // Ctx is the pipeline context.
@@ -123,13 +124,12 @@ func New(cfg Config) *Predictor {
 			p.folded[i] = histories.NewFolded(l, cfg.GlobalLogEntries)
 		}
 	}
+	p.name = fmt.Sprintf("ftlpp-%dKb", p.StorageBits()/1024)
 	return p
 }
 
 // Name implements predictor.Predictor.
-func (p *Predictor) Name() string {
-	return fmt.Sprintf("ftlpp-%dKb", p.StorageBits()/1024)
-}
+func (p *Predictor) Name() string { return p.name }
 
 // StorageBits implements predictor.Predictor.
 func (p *Predictor) StorageBits() int {
@@ -208,3 +208,17 @@ func (p *Predictor) Retire(pc uint64, taken bool, ctx *Ctx, reread bool) {
 
 // AccessStats implements predictor.Predictor.
 func (p *Predictor) AccessStats() *memarray.Stats { return p.geng.Stats() }
+
+// Reset implements predictor.Predictor: both engines, global and local
+// histories, folds and accounting back to the construction state. The two
+// engines share one stats object, reset once.
+func (p *Predictor) Reset() {
+	p.geng.Reset()
+	p.leng.Reset()
+	p.ghist.Reset()
+	for i := range p.folded {
+		p.folded[i].Reset()
+	}
+	p.lht.Reset()
+	p.geng.Stats().Reset()
+}

@@ -96,6 +96,19 @@ func NewEngine(cfg Config, lengths []int, stats *memarray.Stats) *Engine {
 	return e
 }
 
+// Reset returns the engine to its construction state: counters zeroed,
+// threshold back to the table count, reusing the table storage. The
+// stats object is left to its owner (it may be shared across components).
+func (e *Engine) Reset() {
+	for _, t := range e.tables {
+		for i := range t {
+			t[i] = 0
+		}
+	}
+	e.theta = int32(len(e.lengths))
+	e.tc = 0
+}
+
 // NumTables returns the table count.
 func (e *Engine) NumTables() int { return len(e.tables) }
 
@@ -176,10 +189,16 @@ func (e *Engine) Stats() *memarray.Stats { return e.stats }
 
 // Predictor is the standalone GEHL branch predictor of Section 4.1.
 type Predictor struct {
-	eng    *Engine
-	cfg    Config
-	ghist  *histories.Global
-	folded []histories.Folded // zero (inert) entry for L=0
+	eng   *Engine
+	cfg   Config
+	ghist *histories.Global
+	// folds packs all table folds into the word-parallel engine: GEHL is
+	// update-dominated (one fold read per table per branch against one
+	// update of every fold), exactly the ratio where the packed layout
+	// pays. Fold handle i belongs to table i (the L=0 table is inert).
+	folds *histories.PackedFolds
+	fvals []uint32 // folds.Values(), cached for the predict loop
+	name  string   // formatted once: Name is on the per-run result path
 }
 
 // Ctx is the GEHL pipeline context: table indices and counters read at
@@ -199,23 +218,22 @@ func New(cfg Config) *Predictor {
 	copy(lengths[1:], histories.GeometricSeries(cfg.MinHist, cfg.MaxHist, cfg.NumTables-1))
 	eng := NewEngine(cfg, lengths, nil)
 	p := &Predictor{
-		eng:    eng,
-		cfg:    cfg,
-		ghist:  histories.NewGlobal(cfg.MaxHist + 64),
-		folded: make([]histories.Folded, cfg.NumTables),
+		eng:   eng,
+		cfg:   cfg,
+		ghist: histories.NewGlobal(cfg.MaxHist + 64),
 	}
-	for i, l := range lengths {
-		if l > 0 {
-			p.folded[i] = histories.NewFolded(l, cfg.LogEntries)
-		}
+	var fb histories.PackedBuilder
+	for _, l := range lengths {
+		fb.Add(l, cfg.LogEntries) // l == 0 registers the inert fold
 	}
+	p.folds = fb.Build()
+	p.fvals = p.folds.Values()
+	p.name = fmt.Sprintf("gehl-%dKb", p.StorageBits()/1024)
 	return p
 }
 
 // Name implements predictor.Predictor.
-func (p *Predictor) Name() string {
-	return fmt.Sprintf("gehl-%dKb", p.StorageBits()/1024)
-}
+func (p *Predictor) Name() string { return p.name }
 
 // StorageBits implements predictor.Predictor.
 func (p *Predictor) StorageBits() int { return p.eng.StorageBits() }
@@ -225,7 +243,7 @@ func (p *Predictor) Predict(pc uint64, ctx *Ctx) bool {
 	n := p.eng.NumTables()
 	var sum int32
 	for i := 0; i < n; i++ {
-		idx := p.eng.Index(i, pc, p.folded[i].Value(), 0)
+		idx := p.eng.Index(i, pc, p.fvals[i], 0)
 		c := p.eng.Read(i, idx)
 		ctx.Indices[i] = idx
 		ctx.Ctrs[i] = int8(c)
@@ -239,7 +257,7 @@ func (p *Predictor) Predict(pc uint64, ctx *Ctx) bool {
 // OnResolve implements predictor.Predictor: speculative history update.
 func (p *Predictor) OnResolve(pc uint64, taken, mispredicted bool, ctx *Ctx) {
 	p.ghist.Push(taken)
-	histories.UpdateFolds(p.ghist, p.folded, taken)
+	p.folds.Update(p.ghist, taken)
 }
 
 // Retire implements predictor.Predictor: threshold-based update at retire
@@ -268,3 +286,11 @@ func (p *Predictor) Retire(pc uint64, taken bool, ctx *Ctx, reread bool) {
 
 // AccessStats implements predictor.Predictor.
 func (p *Predictor) AccessStats() *memarray.Stats { return p.eng.Stats() }
+
+// Reset implements predictor.Predictor.
+func (p *Predictor) Reset() {
+	p.eng.Reset()
+	p.ghist.Reset()
+	p.folds.Reset()
+	p.eng.Stats().Reset()
+}

@@ -21,6 +21,7 @@ type Predictor struct {
 	ghr      uint32 // global history register, histLen bits
 	stats    *memarray.Stats
 	logTable uint
+	name     string // formatted once: Name is on the per-run result path
 }
 
 // New returns a gshare predictor with 2^logTable 2-bit counters and a
@@ -40,6 +41,7 @@ func New(logTable uint) *Predictor {
 	for i := range p.table {
 		p.table[i] = 1 // weakly not-taken
 	}
+	p.name = fmt.Sprintf("gshare-%dKb", p.StorageBits()/1024)
 	return p
 }
 
@@ -50,9 +52,7 @@ type Ctx struct {
 }
 
 // Name implements predictor.Predictor.
-func (p *Predictor) Name() string {
-	return fmt.Sprintf("gshare-%dKb", p.StorageBits()/1024)
-}
+func (p *Predictor) Name() string { return p.name }
 
 // StorageBits implements predictor.Predictor.
 func (p *Predictor) StorageBits() int { return 2 * len(p.table) }
@@ -100,3 +100,13 @@ func (p *Predictor) Retire(pc uint64, taken bool, ctx *Ctx, reread bool) {
 
 // AccessStats implements predictor.Predictor.
 func (p *Predictor) AccessStats() *memarray.Stats { return p.stats }
+
+// Reset implements predictor.Predictor: counters back to weakly not-taken,
+// history and accounting cleared, reusing the table storage.
+func (p *Predictor) Reset() {
+	for i := range p.table {
+		p.table[i] = 1
+	}
+	p.ghr = 0
+	p.stats.Reset()
+}

@@ -26,6 +26,13 @@ type Model struct {
 	Spec        string
 	StorageBits int
 	Run         func(tr *trace.Trace, opt sim.Options) sim.Result
+	// NewRunner, when non-nil, returns a reusable run function backed by
+	// one pooled predictor instance: each call starts from cold state but
+	// reuses the warmed allocations, byte-identical to Run. The harness
+	// worker pool keeps one runner per (worker, model) so repeated cells
+	// skip predictor construction; a returned runner is used from a single
+	// goroutine at a time. Nil models always run through Run.
+	NewRunner func() func(tr *trace.Trace, opt sim.Options) sim.Result
 	// Scale, when non-nil, returns the model with every component budget
 	// multiplied by 2^deltaLog (the Figure 9 protocol). A model that
 	// cannot be budget-scaled leaves it nil; expanding such a model across
@@ -75,6 +82,15 @@ type Matrix struct {
 	// any non-positive value as "use the default").
 	Window    int
 	ExecDelay int
+	// IntraCellWorkers shards the traces of each cell group — the jobs
+	// sharing (model, scenario, branches, deltaLog) and differing only by
+	// trace — across this many goroutines during execution. Every trace
+	// still starts from a cold predictor, so results are byte-identical
+	// to a serial run; only wall-clock changes. Zero or one means no
+	// intra-cell parallelism; negative values are rejected by Expand.
+	// Run copies the setting into the execution Config when the caller
+	// left Config.IntraCellWorkers unset.
+	IntraCellWorkers int
 }
 
 // Job is one expanded cell of the matrix.
@@ -157,6 +173,9 @@ func (m *Matrix) Expand() ([]Job, error) {
 	}
 	if m.Window < 0 || m.ExecDelay < 0 {
 		return nil, fmt.Errorf("harness: negative Window/ExecDelay (%d/%d); zero selects the defaults", m.Window, m.ExecDelay)
+	}
+	if m.IntraCellWorkers < 0 {
+		return nil, fmt.Errorf("harness: negative IntraCellWorkers (%d); zero disables intra-cell parallelism", m.IntraCellWorkers)
 	}
 	if len(m.Models) == 0 {
 		return nil, fmt.Errorf("harness: matrix has no models")

@@ -29,6 +29,11 @@ const (
 	// MetricTraceCacheHits / Misses count shared-trace-cache outcomes.
 	MetricTraceCacheHits   = "bpbench_trace_cache_hits_total"
 	MetricTraceCacheMisses = "bpbench_trace_cache_misses_total"
+	// MetricPredictorPoolHits / Misses count predictor-pool outcomes: a
+	// hit reuses a worker's warmed predictor via Reset, a miss constructs
+	// one (the first cell of each model on each worker or shard).
+	MetricPredictorPoolHits   = "bpbench_predictor_pool_hits_total"
+	MetricPredictorPoolMisses = "bpbench_predictor_pool_misses_total"
 	// MetricCellsTotal / MetricCellsDone gauge sweep progress: cells in
 	// the expanded grid and cells completed (reused cells count as done
 	// immediately). Gauges, not counters, so sequential matrices on one
@@ -62,6 +67,8 @@ type runMetrics struct {
 	jobTime     *metrics.Histogram
 	cacheHits   *metrics.Counter
 	cacheMisses *metrics.Counter
+	poolHits    *metrics.Counter
+	poolMisses  *metrics.Counter
 	cellsTotal  *metrics.Gauge
 	cellsDone   *metrics.Gauge
 	records     *metrics.CounterVec
@@ -81,6 +88,8 @@ func newRunMetrics(reg *metrics.Registry) *runMetrics {
 		jobTime:     reg.Histogram(MetricJobSeconds, "Per-job execution latency in seconds.", metrics.ExpBuckets(0.001, 4, 10)),
 		cacheHits:   reg.Counter(MetricTraceCacheHits, "Trace-cache lookups served by an existing entry."),
 		cacheMisses: reg.Counter(MetricTraceCacheMisses, "Trace-cache lookups that generated the trace."),
+		poolHits:    reg.Counter(MetricPredictorPoolHits, "Predictor-pool lookups served by a warmed instance (Reset reuse)."),
+		poolMisses:  reg.Counter(MetricPredictorPoolMisses, "Predictor-pool lookups that constructed a predictor."),
 		cellsTotal:  reg.Gauge(MetricCellsTotal, "Cells in the expanded sweep grid."),
 		cellsDone:   reg.Gauge(MetricCellsDone, "Cells completed (reused cells count immediately)."),
 		records:     reg.CounterVec(MetricRecordsEmitted, "Records streamed to sinks, by kind.", "kind"),

@@ -4,10 +4,12 @@ import (
 	"fmt"
 	"runtime"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
 	"repro/internal/metrics"
+	"repro/internal/sim"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -39,6 +41,19 @@ type Config struct {
 	// and result stream are bit-identical with telemetry off, which is
 	// why the registry is injected here rather than being a global.
 	Metrics *metrics.Registry
+	// NoPredictorPool disables per-worker predictor reuse: every cell
+	// constructs a fresh predictor through Model.Run even when the model
+	// offers a NewRunner hook. By default repeated cells of the same
+	// model Reset a pooled instance instead of reallocating its tables,
+	// which is byte-identical and skips construction entirely.
+	NoPredictorPool bool
+	// IntraCellWorkers shards each cell group's traces (jobs sharing
+	// model, scenario, branches and deltaLog) across this many goroutines
+	// with per-shard pooled runners and deterministic trace assignment.
+	// Results and emission order are byte-identical to a serial run.
+	// Zero or one disables intra-cell parallelism. Run seeds it from
+	// Matrix.IntraCellWorkers when unset here.
+	IntraCellWorkers int
 }
 
 func (c Config) workers() int {
@@ -113,6 +128,9 @@ func Run(m *Matrix, cfg Config, sink Sink) (*Summary, error) {
 	if err != nil {
 		return nil, err
 	}
+	if cfg.IntraCellWorkers == 0 {
+		cfg.IntraCellWorkers = m.IntraCellWorkers
+	}
 	return RunJobs(jobs, cfg, sink)
 }
 
@@ -140,10 +158,52 @@ func RunJobs(jobs []Job, cfg Config, sink Sink) (*Summary, error) {
 	return sum, closeSink(sink, *emitErr)
 }
 
+// runnerArena holds one worker's (or one intra-cell shard's) pooled run
+// functions, keyed by the model's canonical spec (name when the model was
+// built without one). It is only ever touched from the goroutine that
+// owns it, so lookups are lock-free; the hit/miss counters feed the
+// pool's telemetry.
+type runnerArena struct {
+	m            map[string]func(tr *trace.Trace, opt sim.Options) sim.Result
+	hits, misses *metrics.Counter
+}
+
+// runner resolves the run function for a job's model: the pooled runner
+// when the model offers one (created on first use, Reset-reused after),
+// the plain cold-construction Run otherwise.
+func (a *runnerArena) runner(mdl Model) func(tr *trace.Trace, opt sim.Options) sim.Result {
+	if a == nil || mdl.NewRunner == nil {
+		return mdl.Run
+	}
+	key := mdl.Spec
+	if key == "" {
+		key = mdl.Name
+	}
+	if fn, ok := a.m[key]; ok {
+		a.hits.Inc()
+		return fn
+	}
+	a.misses.Inc()
+	fn := mdl.NewRunner()
+	if fn == nil {
+		fn = mdl.Run
+	}
+	a.m[key] = fn
+	return fn
+}
+
 // executeJobs runs the job list on the worker pool, invoking visit for
 // every record in job order as results complete (a reorder buffer
 // decouples worker completion order from visit order, so streaming
 // starts with the first finished cell), and returns all records.
+//
+// With cfg.IntraCellWorkers > 1 the scheduling is two-level: the outer
+// pool hands out cell groups (jobs sharing model, scenario, branches and
+// deltaLog), and each group's traces are sharded across up to
+// IntraCellWorkers goroutines with a deterministic stride. Every trace
+// starts from a cold (Reset or fresh) predictor either way, so the
+// records — and their emission order — are byte-identical to the serial
+// schedule.
 func executeJobs(jobs []Job, cfg Config, rm *runMetrics, visit func(Record)) []Record {
 	cache := &traceCache{m: make(map[string]*traceEntry)}
 	if rm != nil {
@@ -156,10 +216,22 @@ func executeJobs(jobs []Job, cfg Config, rm *runMetrics, visit func(Record)) []R
 		done[i] = make(chan struct{})
 	}
 
-	go forEachWorker(len(jobs), cfg.workers(), func(w, i int) {
+	newArena := func() *runnerArena {
+		if cfg.NoPredictorPool {
+			return nil
+		}
+		a := &runnerArena{m: make(map[string]func(tr *trace.Trace, opt sim.Options) sim.Result)}
+		if rm != nil {
+			a.hits, a.misses = rm.poolHits, rm.poolMisses
+		}
+		return a
+	}
+
+	runOne := func(i, w int, arena *runnerArena, shardCtr *metrics.Counter) {
 		defer close(done[i])
 		j := jobs[i]
 		j.Opts.Metrics = cfg.Metrics
+		run := arena.runner(j.Model)
 		jobDone := rm.jobBegin(w)
 		var res Record
 		err := Protect(func() {
@@ -169,7 +241,7 @@ func executeJobs(jobs []Job, cfg Config, rm *runMetrics, visit func(Record)) []R
 			} else {
 				tr = cache.get(j.Spec, j.Branches)
 			}
-			res = cellRecord(j, j.Model.Run(tr, j.Opts))
+			res = cellRecord(j, run(tr, j.Opts))
 		})
 		if err != nil {
 			res = failedRecord(j, err)
@@ -179,13 +251,82 @@ func executeJobs(jobs []Job, cfg Config, rm *runMetrics, visit func(Record)) []R
 			res.Provenance = cfg.Provenance
 		}
 		results[i] = res
-	})
+		shardCtr.Add(res.SimBranches)
+	}
+
+	if cfg.IntraCellWorkers > 1 {
+		groups := groupJobs(jobs)
+		var shardVec *metrics.CounterVec
+		if cfg.Metrics != nil {
+			shardVec = cfg.Metrics.CounterVec(sim.MetricShardBranches, sim.HelpShardBranches, "shard")
+		}
+		go forEachWorker(len(groups), cfg.workers(), func(w, gi int) {
+			g := groups[gi]
+			shards := cfg.IntraCellWorkers
+			if shards > len(g) {
+				shards = len(g)
+			}
+			var wg sync.WaitGroup
+			for s := 0; s < shards; s++ {
+				wg.Add(1)
+				go func(s int) {
+					defer wg.Done()
+					arena := newArena()
+					var ctr *metrics.Counter
+					if shardVec != nil {
+						ctr = shardVec.With(strconv.Itoa(s))
+					}
+					// Stride assignment: shard s owns the group's s-th,
+					// (s+shards)-th, ... traces, independent of timing.
+					for k := s; k < len(g); k += shards {
+						runOne(g[k], w, arena, ctr)
+					}
+				}(s)
+			}
+			wg.Wait()
+		})
+	} else {
+		arenas := make([]*runnerArena, cfg.workers())
+		go forEachWorker(len(jobs), cfg.workers(), func(w, i int) {
+			if w < len(arenas) && arenas[w] == nil {
+				arenas[w] = newArena()
+			}
+			var arena *runnerArena
+			if w < len(arenas) {
+				arena = arenas[w]
+			}
+			runOne(i, w, arena, nil)
+		})
+	}
 
 	for i := range jobs {
 		<-done[i]
 		visit(results[i])
 	}
 	return results
+}
+
+// groupJobs partitions job indices into cell groups — jobs sharing
+// (model, scenario, branches, deltaLog), i.e. differing only by trace —
+// in first-appearance (expansion) order, members in expansion order.
+func groupJobs(jobs []Job) [][]int {
+	type gkey struct {
+		model, scenario    string
+		branches, deltaLog int
+	}
+	idx := make(map[gkey]int)
+	var groups [][]int
+	for i, j := range jobs {
+		k := gkey{model: j.Model.Name, scenario: j.Scenario.Letter(), branches: j.Branches, deltaLog: j.DeltaLog}
+		gi, ok := idx[k]
+		if !ok {
+			gi = len(groups)
+			idx[k] = gi
+			groups = append(groups, nil)
+		}
+		groups[gi] = append(groups[gi], i)
+	}
+	return groups
 }
 
 // emitter wraps a sink for the run loops: a sink failure mid-stream must

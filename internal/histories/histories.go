@@ -34,11 +34,11 @@ func NewGlobal(capacity int) *Global {
 // Push records the outcome of the most recent branch.
 func (g *Global) Push(taken bool) {
 	g.head = (g.head + 1) & g.mask
+	var b uint8
 	if taken {
-		g.buf[g.head] = 1
-	} else {
-		g.buf[g.head] = 0
+		b = 1
 	}
+	g.buf[g.head] = b
 	g.n++
 }
 
@@ -54,6 +54,15 @@ func (g *Global) Bit(i int) uint32 {
 
 // Len returns the number of outcomes pushed so far.
 func (g *Global) Len() uint64 { return g.n }
+
+// Reset returns the history to its initial empty state, reusing the
+// buffer, so a pooled predictor can be rewound without reallocating.
+func (g *Global) Reset() {
+	for i := range g.buf {
+		g.buf[i] = 0
+	}
+	g.head, g.n = 0, 0
+}
 
 // Checkpoint captures the current history position for later restore.
 type Checkpoint struct {
@@ -171,6 +180,13 @@ func NewTableFolds(length int, idxWidth, tagWidth, tag2Width uint) TableFolds {
 	}
 }
 
+// Reset clears all three folds (the state matching an empty history).
+func (t *TableFolds) Reset() {
+	t.Idx.Reset()
+	t.Tag1.Reset()
+	t.Tag2.Reset()
+}
+
 // oldestBit is Global.Bit with the buffer fields pre-fetched by the
 // caller, shared by the batched updaters so the guard and index logic
 // exist in exactly one place. buf must be g.buf[:mask+1].
@@ -250,6 +266,9 @@ func (p *Path) Push(pc uint64) {
 // Value returns the current path register value.
 func (p *Path) Value() uint32 { return p.v }
 
+// Reset clears the path register to its initial state.
+func (p *Path) Reset() { p.v = 0 }
+
 // Local is a table of per-branch local direction histories, as used by the
 // Local history Statistical Corrector (Section 6 of the paper): a small
 // direct-mapped table indexed by PC, each entry a shift register of branch
@@ -296,6 +315,14 @@ func (l *Local) Width() uint { return l.width }
 
 // Entries returns the number of entries in the table.
 func (l *Local) Entries() int { return len(l.entries) }
+
+// Reset clears every local history to its initial state, reusing the
+// table storage.
+func (l *Local) Reset() {
+	for i := range l.entries {
+		l.entries[i] = 0
+	}
+}
 
 // Shift computes the successor local history: (h<<1)+outcome, truncated to
 // width bits. Exported because the Speculative Local History Manager must

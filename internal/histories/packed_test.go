@@ -1,0 +1,226 @@
+package histories
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+// tageLikeSpecs is the fold census of a reference-TAGE-shaped predictor:
+// 12 tables × (index, tag1, tag2) folds over a geometric length series.
+func tageLikeSpecs() []struct {
+	length int
+	width  uint
+} {
+	lengths := GeometricSeries(6, 2000, 12)
+	logs := []uint{11, 12, 12, 12, 12, 12, 12, 11, 11, 10, 10, 10}
+	var specs []struct {
+		length int
+		width  uint
+	}
+	for i, l := range lengths {
+		tag := uint(6 + i)
+		if tag > 15 {
+			tag = 15
+		}
+		tag2 := tag - 1
+		specs = append(specs,
+			struct {
+				length int
+				width  uint
+			}{l, logs[i]},
+			struct {
+				length int
+				width  uint
+			}{l, tag},
+			struct {
+				length int
+				width  uint
+			}{l, tag2},
+		)
+	}
+	return specs
+}
+
+// TestPackedFoldsMatchScalar is the core packed-engine invariant: every
+// lane of the word-packed update must track the scalar Folded update
+// exactly, across the window fill, buffer wrap-around, and mixed widths
+// sharing words.
+func TestPackedFoldsMatchScalar(t *testing.T) {
+	specs := tageLikeSpecs()
+	// Add an inert placeholder and some GEHL-ish equal-width folds to the mix.
+	specs = append(specs,
+		struct {
+			length int
+			width  uint
+		}{0, 13},
+		struct {
+			length int
+			width  uint
+		}{17, 13},
+		struct {
+			length int
+			width  uint
+		}{60, 13},
+	)
+
+	var b PackedBuilder
+	ids := make([]int, len(specs))
+	scalar := make([]Folded, len(specs))
+	for i, s := range specs {
+		ids[i] = b.Add(s.length, s.width)
+		if s.length > 0 {
+			scalar[i] = NewFolded(s.length, s.width)
+		}
+	}
+	p := b.Build()
+
+	g := NewGlobal(4096)
+	r := rng.NewXoshiro(77)
+	for step := 0; step < 6000; step++ {
+		taken := r.Bool(0.5)
+		g.Push(taken)
+		p.Update(g, taken)
+		UpdateFolds(g, scalar, taken)
+		for i := range specs {
+			if got, want := p.Value(ids[i]), scalar[i].Value(); got != want {
+				t.Fatalf("step %d fold %d (L=%d W=%d): packed=%#x scalar=%#x",
+					step, i, specs[i].length, specs[i].width, got, want)
+			}
+		}
+	}
+}
+
+// TestPackedFoldsQuickProperty fuzzes random fold sets (random lengths and
+// widths, duplicates and shared lengths included) against the scalar
+// engine over random outcome streams.
+func TestPackedFoldsQuickProperty(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		r := rng.NewXoshiro(seed)
+		n := int(nRaw%24) + 1
+		var b PackedBuilder
+		scalar := make([]Folded, n)
+		ids := make([]int, n)
+		lengths := make([]int, n)
+		widths := make([]uint, n)
+		for i := 0; i < n; i++ {
+			lengths[i] = r.Intn(300) // 0 = inert
+			widths[i] = uint(r.Intn(30)) + 1
+			ids[i] = b.Add(lengths[i], widths[i])
+			if lengths[i] > 0 {
+				scalar[i] = NewFolded(lengths[i], widths[i])
+			}
+		}
+		p := b.Build()
+		g := NewGlobal(512)
+		for step := 0; step < 700; step++ {
+			taken := r.Bool(0.5)
+			g.Push(taken)
+			p.Update(g, taken)
+			UpdateFolds(g, scalar, taken)
+			for i := range ids {
+				if p.Value(ids[i]) != scalar[i].Value() {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPackedFoldsResetRecompute: Reset clears every lane and Recompute
+// rebuilds the exact incremental state from the history.
+func TestPackedFoldsResetRecompute(t *testing.T) {
+	var b PackedBuilder
+	ids := []int{
+		b.Add(20, 9),
+		b.Add(0, 7), // inert
+		b.Add(130, 11),
+		b.Add(130, 9),
+	}
+	p := b.Build()
+	g := NewGlobal(256)
+	r := rng.NewXoshiro(5)
+	for i := 0; i < 200; i++ {
+		taken := r.Bool(0.4)
+		g.Push(taken)
+		p.Update(g, taken)
+	}
+	want := make([]uint32, len(ids))
+	for i, id := range ids {
+		want[i] = p.Value(id)
+	}
+	p.Reset()
+	for _, id := range ids {
+		if p.Value(id) != 0 {
+			t.Fatal("Reset did not clear")
+		}
+	}
+	p.Recompute(g)
+	for i, id := range ids {
+		if p.Value(id) != want[i] {
+			t.Fatalf("fold %d: Recompute=%#x, want %#x", i, p.Value(id), want[i])
+		}
+	}
+}
+
+// TestPackedFoldsPackingDensity pins the headline win: a reference-TAGE
+// fold census (36 folds) must pack into far fewer words than folds.
+func TestPackedFoldsPackingDensity(t *testing.T) {
+	var b PackedBuilder
+	for _, s := range tageLikeSpecs() {
+		b.Add(s.length, s.width)
+	}
+	p := b.Build()
+	if p.NumFolds() != 36 {
+		t.Fatalf("NumFolds = %d, want 36", p.NumFolds())
+	}
+	if p.NumWords() > 16 {
+		t.Fatalf("36 TAGE folds packed into %d words, want <= 16", p.NumWords())
+	}
+}
+
+// BenchmarkFoldUpdate compares the per-branch fold advance of a
+// reference-TAGE fold census: the scalar per-table UpdateAll path versus
+// the width-grouped packed engine.
+func BenchmarkFoldUpdate(b *testing.B) {
+	lengths := GeometricSeries(6, 2000, 12)
+	logs := []uint{11, 12, 12, 12, 12, 12, 12, 11, 11, 10, 10, 10}
+
+	b.Run("scalar", func(b *testing.B) {
+		g := NewGlobal(4096)
+		folds := make([]TableFolds, len(lengths))
+		for i, l := range lengths {
+			tag := uint(6 + i)
+			if tag > 15 {
+				tag = 15
+			}
+			folds[i] = NewTableFolds(l, logs[i], tag, tag-1)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			taken := i&1 == 0
+			g.Push(taken)
+			UpdateAll(g, folds, taken)
+		}
+	})
+
+	b.Run("packed", func(b *testing.B) {
+		g := NewGlobal(4096)
+		var pb PackedBuilder
+		for _, s := range tageLikeSpecs() {
+			pb.Add(s.length, s.width)
+		}
+		p := pb.Build()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			taken := i&1 == 0
+			g.Push(taken)
+			p.Update(g, taken)
+		}
+	})
+}

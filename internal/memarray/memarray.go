@@ -36,11 +36,12 @@ type Stats struct {
 // RecordWrite accounts one entry-write attempt; effective indicates the
 // value actually changed.
 func (s *Stats) RecordWrite(effective bool) {
+	var e uint64
 	if effective {
-		s.EntryWrites++
-	} else {
-		s.SilentSkipped++
+		e = 1
 	}
+	s.EntryWrites += e
+	s.SilentSkipped += 1 - e
 }
 
 // WritesPerMisprediction returns effective predictor write events per
@@ -81,6 +82,10 @@ func (s *Stats) SilentFraction() float64 {
 	return 1 - float64(s.WriteEvents)/float64(s.RetiredBranch)
 }
 
+// Reset zeroes every counter, so a pooled predictor's accounting starts
+// from scratch.
+func (s *Stats) Reset() { *s = Stats{} }
+
 // Add accumulates other into s.
 func (s *Stats) Add(other Stats) {
 	s.PredictReads += other.PredictReads
@@ -110,6 +115,9 @@ type BankTracker struct {
 
 // NewBankTracker returns a tracker with no prior predictions.
 func NewBankTracker() *BankTracker { return &BankTracker{prev1: -1, prev2: -1} }
+
+// Reset forgets the two previous predictions (the fresh-tracker state).
+func (t *BankTracker) Reset() { t.prev1, t.prev2 = -1, -1 }
 
 // Select returns the bank to use for predicting the branch at pc and
 // records it as the most recent access.

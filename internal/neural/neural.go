@@ -68,6 +68,8 @@ type Predictor struct {
 	theta int32
 	tc    int32
 
+	name string // formatted once: Name is on the per-run result path
+
 	stats *memarray.Stats
 }
 
@@ -97,13 +99,12 @@ func New(cfg Config) *Predictor {
 		theta:  int32(2*cfg.Hist + 14),
 		stats:  &memarray.Stats{},
 	}
+	p.name = fmt.Sprintf("pwl-%dKb", p.StorageBits()/1024)
 	return p
 }
 
 // Name implements predictor.Predictor.
-func (p *Predictor) Name() string {
-	return fmt.Sprintf("pwl-%dKb", p.StorageBits()/1024)
-}
+func (p *Predictor) Name() string { return p.name }
 
 // StorageBits implements predictor.Predictor.
 func (p *Predictor) StorageBits() int {
@@ -238,3 +239,25 @@ func (p *Predictor) Retire(pc uint64, taken bool, ctx *Ctx, reread bool) {
 
 // AccessStats implements predictor.Predictor.
 func (p *Predictor) AccessStats() *memarray.Stats { return p.stats }
+
+// Reset implements predictor.Predictor: weights, speculative histories,
+// threshold state and accounting back to the construction state, reusing
+// all storage.
+func (p *Predictor) Reset() {
+	for i := range p.w {
+		p.w[i] = 0
+	}
+	for i := range p.bias {
+		p.bias[i] = 0
+	}
+	for i := range p.path {
+		p.path[i] = 0
+	}
+	for i := range p.dirs {
+		p.dirs[i] = false
+	}
+	p.head = 0
+	p.theta = int32(2*p.cfg.Hist + 14)
+	p.tc = 0
+	p.stats.Reset()
+}

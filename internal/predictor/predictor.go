@@ -85,4 +85,9 @@ type Predictor[C any] interface {
 	Retire(pc uint64, taken bool, ctx *C, reread bool)
 	// AccessStats exposes the predictor's access accounting.
 	AccessStats() *memarray.Stats
+	// Reset returns the predictor to its freshly-constructed state without
+	// allocating, so pools can reuse warmed instances across runs. After
+	// Reset the predictor must behave byte-identically to a new instance
+	// built from the same configuration.
+	Reset()
 }

@@ -49,6 +49,19 @@ func NewXoshiro(seed uint64) *Xoshiro {
 	return &x
 }
 
+// Reseed rewinds the generator in place to the state NewXoshiro(seed)
+// would produce, so pooled owners can restart a deterministic stream
+// without allocating.
+func (x *Xoshiro) Reseed(seed uint64) {
+	sm := NewSplitMix64(seed)
+	for i := range x.s {
+		x.s[i] = sm.Uint64()
+	}
+	if x.s[0]|x.s[1]|x.s[2]|x.s[3] == 0 {
+		x.s[0] = 0x9e3779b97f4a7c15
+	}
+}
+
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
 
 // Uint64 returns the next value in the sequence.

@@ -52,10 +52,14 @@ func (c Config) withDefaults() Config {
 
 // Corrector is the global-history Statistical Corrector.
 type Corrector struct {
-	cfg    Config
-	eng    *gehl.Engine
-	ghist  *histories.Global
-	folded []histories.Folded
+	cfg   Config
+	eng   *gehl.Engine
+	ghist *histories.Global
+	// folds packs the corrector's folded histories into the word-parallel
+	// engine (update-dominated, one read per fold per branch); handle i
+	// belongs to Lengths[i], with zero lengths registered inert.
+	folds *histories.PackedFolds
+	fvals []uint32 // folds.Values(), cached for the predict loop
 
 	// Reverts counts predictions inverted by the corrector; UsefulReverts
 	// those inversions that were correct.
@@ -96,16 +100,28 @@ func New(cfg Config, stats *memarray.Stats) *Corrector {
 			CtrBits:    cfg.CtrBits,
 			MinHist:    1, MaxHist: maxLen + 1, // unused by Engine indexing
 		}, cfg.Lengths, stats),
-		ghist:  histories.NewGlobal(maxLen + 8),
-		folded: make([]histories.Folded, len(cfg.Lengths)),
+		ghist: histories.NewGlobal(maxLen + 8),
 	}
-	for i, l := range cfg.Lengths {
-		if l > 0 {
-			c.folded[i] = histories.NewFolded(l, cfg.LogEntries)
-		} // length 0: the zero Folded stays inert
+	var fb histories.PackedBuilder
+	for _, l := range cfg.Lengths {
+		fb.Add(l, cfg.LogEntries) // l == 0 registers the inert fold
 	}
+	c.folds = fb.Build()
+	c.fvals = c.folds.Values()
 	c.rthresh = int32(2 * len(cfg.Lengths))
 	return c
+}
+
+// Reset returns the corrector to its construction state: GEHL counters
+// and threshold, global history and folds, revert accounting. The stats
+// object is left to its owner.
+func (c *Corrector) Reset() {
+	c.eng.Reset()
+	c.ghist.Reset()
+	c.folds.Reset()
+	c.Reverts, c.UsefulReverts = 0, 0
+	c.rthresh = int32(2 * len(c.cfg.Lengths))
+	c.rbenefit = 0
 }
 
 // StorageBits returns the corrector table storage.
@@ -123,7 +139,7 @@ func (c *Corrector) Predict(pc uint64, mainPred bool, tageCtrCentered int32, ctx
 	var sum int32
 	for i := range c.cfg.Lengths {
 		// A zero-length fold is inert and reads as 0.
-		idx := c.eng.Index(i, pc, c.folded[i].Value(), predBit*0x5bd1e995)
+		idx := c.eng.Index(i, pc, c.fvals[i], predBit*0x5bd1e995)
 		ctr := c.eng.Read(i, idx)
 		ctx.Indices[i] = idx
 		ctx.Ctrs[i] = int8(ctr)
@@ -145,7 +161,7 @@ func (c *Corrector) Predict(pc uint64, mainPred bool, tageCtrCentered int32, ctx
 // OnResolve advances the corrector's speculative global history.
 func (c *Corrector) OnResolve(taken bool) {
 	c.ghist.Push(taken)
-	histories.UpdateFolds(c.ghist, c.folded, taken)
+	c.folds.Update(c.ghist, taken)
 }
 
 // Retire updates the corrector tables at retire time: counters train

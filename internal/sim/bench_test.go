@@ -121,6 +121,110 @@ func TestRunZeroAllocSteadyState(t *testing.T) {
 	}
 }
 
+// TestRunZeroAllocSteadyStatePooled asserts the pooled contract: a Runner
+// re-running a Reset predictor over a materialised trace performs ZERO
+// allocations per run — no ring, no retire-time array, no trace reader, no
+// decode buffer, no telemetry handle resolution — with and without a live
+// metrics registry. This is what lets the harness predictor pool run
+// repeated cells allocation-free end to end.
+func TestRunZeroAllocSteadyStatePooled(t *testing.T) {
+	tr := benchTrace(2000)
+	t.Run("tage-ref", func(t *testing.T) {
+		p := tage.New(tage.Reference())
+		var rn Runner[tage.Ctx]
+		opt := Options{Scenario: predictor.ScenarioA}
+		rn.RunTrace(p, tr, opt) // first run owns the buffer allocations
+		allocs := testing.AllocsPerRun(10, func() {
+			p.Reset()
+			rn.RunTrace(p, tr, opt)
+		})
+		if allocs != 0 {
+			t.Errorf("pooled tage run: %v allocs per run, want 0", allocs)
+		}
+	})
+	t.Run("gshare", func(t *testing.T) {
+		p := gshare.New(18)
+		var rn Runner[gshare.Ctx]
+		opt := Options{Scenario: predictor.ScenarioB}
+		rn.RunTrace(p, tr, opt)
+		allocs := testing.AllocsPerRun(10, func() {
+			p.Reset()
+			rn.RunTrace(p, tr, opt)
+		})
+		if allocs != 0 {
+			t.Errorf("pooled gshare run: %v allocs per run, want 0", allocs)
+		}
+	})
+	t.Run("tage-ref/metrics", func(t *testing.T) {
+		reg := metrics.NewRegistry()
+		p := tage.New(tage.Reference())
+		var rn Runner[tage.Ctx]
+		opt := Options{Scenario: predictor.ScenarioA, Metrics: reg}
+		rn.RunTrace(p, tr, opt) // resolves and caches the telemetry handles
+		allocs := testing.AllocsPerRun(10, func() {
+			p.Reset()
+			rn.RunTrace(p, tr, opt)
+		})
+		if allocs != 0 {
+			t.Errorf("pooled instrumented run: %v allocs per run, want 0", allocs)
+		}
+		if got := reg.Snapshot().Value(MetricBranchesRetired); got <= 0 {
+			t.Fatalf("%s = %v after pooled instrumented runs", MetricBranchesRetired, got)
+		}
+	})
+}
+
+// TestRunnerMatchesFresh asserts byte-identical results between the pooled
+// path (one predictor + Runner, Reset between runs) and the one-shot path
+// (fresh predictor + sim.Run per run), across scenarios.
+func TestRunnerMatchesFresh(t *testing.T) {
+	tr := benchTrace(6000)
+	for _, sc := range []predictor.Scenario{
+		predictor.ScenarioI, predictor.ScenarioA,
+		predictor.ScenarioB, predictor.ScenarioC,
+	} {
+		opt := Options{Scenario: sc}
+		pooled := tage.New(tage.Reference())
+		var rn Runner[tage.Ctx]
+		rn.RunTrace(pooled, tr, opt) // dirty the pool
+		pooled.Reset()
+		got := rn.RunTrace(pooled, tr, opt)
+		want := RunTrace(tage.New(tage.Reference()), tr, opt)
+		// Zero out wall-clock telemetry: never part of the contract.
+		got.Elapsed, got.BranchesPerSec = 0, 0
+		want.Elapsed, want.BranchesPerSec = 0, 0
+		if got != want {
+			t.Errorf("%s: pooled Reset run diverges from fresh run:\n  pooled: %+v\n  fresh:  %+v", sc, got, want)
+		}
+	}
+}
+
+// BenchmarkCellSetup compares the cost of standing up one simulation cell:
+// "fresh" pays tage.New plus the per-run buffer allocations of one-shot
+// sim.Run; "pooled" reuses a warmed predictor and Runner via Reset. The
+// trace is short so setup, not simulation, dominates.
+func BenchmarkCellSetup(b *testing.B) {
+	tr := benchTrace(512)
+	opt := Options{Scenario: predictor.ScenarioA}
+	b.Run("fresh", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			RunTrace(tage.New(tage.Reference()), tr, opt)
+		}
+	})
+	b.Run("pooled", func(b *testing.B) {
+		b.ReportAllocs()
+		p := tage.New(tage.Reference())
+		var rn Runner[tage.Ctx]
+		rn.RunTrace(p, tr, opt)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			p.Reset()
+			rn.RunTrace(p, tr, opt)
+		}
+	})
+}
+
 // TestRunZeroAllocSteadyStateWithMetrics asserts that attaching a live
 // telemetry registry preserves 0 allocs/branch: the retired counter is
 // resolved once per run and advanced once per decode batch, so the

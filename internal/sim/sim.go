@@ -14,6 +14,8 @@ package sim
 
 import (
 	"fmt"
+	"strconv"
+	"sync"
 	"time"
 
 	"repro/internal/bitutil"
@@ -39,6 +41,13 @@ const (
 	// MetricPipelineFlushes counts misprediction-triggered pipeline
 	// drains, by update scenario (flushed once per run).
 	MetricPipelineFlushes = "bpbench_pipeline_flushes_total"
+	// MetricShardBranches counts branches retired by intra-cell shard
+	// workers, labelled by shard index: the observability handle for
+	// deterministic intra-cell parallelism (RunShards and the harness
+	// IntraCellWorkers setting). Advanced once per trace per shard.
+	MetricShardBranches = "bpbench_intracell_shard_branches_total"
+	// HelpShardBranches is the family's help text.
+	HelpShardBranches = "Branches retired by intra-cell shard workers, by shard."
 )
 
 // Options configures one simulation run.
@@ -136,14 +145,36 @@ type inflight[C any] struct {
 // within L1.
 const decodeBatch = 256
 
-// Run simulates predictor p over the branches of src. The predictor must
-// be freshly constructed (no state reuse across runs).
+// Runner is a reusable simulation engine for one context type C. It owns
+// the in-flight ring, the retire-time array and the resolved telemetry
+// handles, so a pool re-running cells of the same shape performs zero
+// allocations after the first run. The zero value is ready to use; a
+// Runner must not be shared between concurrent runs.
+type Runner[C any] struct {
+	ring     []inflight[C]
+	retireAt []uint64
+	// Telemetry handles resolve against one registry and are reused while
+	// Options.Metrics keeps pointing at it.
+	reg        *metrics.Registry
+	retiredCtr *metrics.Counter
+	flushVec   *metrics.CounterVec
+	// cursor is the reusable trace source handed to Run by RunTrace, so a
+	// pooled run performs no per-run Reader allocation.
+	cursor trace.Cursor
+	// batch is the decode buffer. It lives on the Runner because passing
+	// it through the Batcher interface makes it escape: as a local it
+	// would cost one heap allocation per run.
+	batch [decodeBatch]trace.Branch
+}
+
+// Run simulates predictor p over the branches of src, reusing the
+// Runner's buffers. The predictor must be freshly constructed or Reset.
 //
 // The loop is allocation-free in steady state: the in-flight ring is
 // sized to a power of two (head/tail advance by masking), the scenario
 // dispatch is hoisted out of the retire path, and branches are decoded
 // in blocks when the source supports it.
-func Run[C any](p predictor.Predictor[C], name, category string, src trace.Source, opt Options) Result {
+func (rn *Runner[C]) Run(p predictor.Predictor[C], name, category string, src trace.Source, opt Options) Result {
 	opt = opt.withDefaults()
 	stats := p.AccessStats()
 
@@ -157,11 +188,21 @@ func Run[C any](p predictor.Predictor[C], name, category string, src trace.Sourc
 	// threshold stays window+1 regardless of the rounded ring size.
 	ringSize := bitutil.CeilPow2(window + 2)
 	ringMask := ringSize - 1
-	ring := make([]inflight[C], ringSize)
-	// Retire times live in their own small array so the post-misprediction
-	// drain walks a few cache lines instead of striding over the full
-	// (context-carrying) ring entries.
-	retireAt := make([]uint64, ringSize)
+	if len(rn.ring) < ringSize {
+		rn.ring = make([]inflight[C], ringSize)
+		// Retire times live in their own small array so the
+		// post-misprediction drain walks a few cache lines instead of
+		// striding over the full (context-carrying) ring entries.
+		rn.retireAt = make([]uint64, ringSize)
+	} else {
+		// Reused buffers must start zeroed: a fresh run sees zero-valued
+		// contexts, and byte-identical reuse requires the same here (a
+		// predictor's Predict is not obliged to overwrite every field).
+		clear(rn.ring[:ringSize])
+		clear(rn.retireAt[:ringSize])
+	}
+	ring := rn.ring[:ringSize]
+	retireAt := rn.retireAt[:ringSize]
 	head, tail := 0, 0 // head = oldest, tail = next insert slot
 	count := 0
 
@@ -200,18 +241,26 @@ func Run[C any](p predictor.Predictor[C], name, category string, src trace.Sourc
 		count--
 	}
 
-	// Telemetry handles resolve once per run; the counter is advanced per
-	// decode batch (one nil check and one atomic add per 256 branches),
-	// so a live /metrics scrape sees progress inside a long cell without
-	// the per-branch path ever touching the registry.
-	var retiredCtr *metrics.Counter
-	if opt.Metrics != nil {
-		retiredCtr = opt.Metrics.Counter(MetricBranchesRetired, HelpBranchesRetired)
+	// Telemetry handles resolve once per registry (cached across runs on
+	// the Runner); the counter is advanced per decode batch (one nil check
+	// and one atomic add per 256 branches), so a live /metrics scrape sees
+	// progress inside a long cell without the per-branch path ever
+	// touching the registry.
+	if opt.Metrics != rn.reg {
+		rn.reg = opt.Metrics
+		rn.retiredCtr, rn.flushVec = nil, nil
+		if opt.Metrics != nil {
+			rn.retiredCtr = opt.Metrics.Counter(MetricBranchesRetired, HelpBranchesRetired)
+			rn.flushVec = opt.Metrics.CounterVec(MetricPipelineFlushes,
+				"Misprediction-triggered pipeline flushes, by update scenario.",
+				"scenario")
+		}
 	}
+	retiredCtr := rn.retiredCtr
 
 	start := time.Now()
 	batcher, _ := src.(trace.Batcher)
-	var batch [decodeBatch]trace.Branch
+	batch := rn.batch[:]
 	for {
 		n := 0
 		if batcher != nil {
@@ -278,12 +327,10 @@ func Run[C any](p predictor.Predictor[C], name, category string, src trace.Sourc
 	stats.WriteEvents += writeEvents
 	stats.RetiredBranch += retiredCount
 
-	if opt.Metrics != nil {
+	if rn.flushVec != nil {
 		// Each misprediction drains the in-flight window — a pipeline
 		// flush. Accumulated locally, flushed once per run.
-		opt.Metrics.CounterVec(MetricPipelineFlushes,
-			"Misprediction-triggered pipeline flushes, by update scenario.",
-			"scenario").With(opt.Scenario.Letter()).Add(mispreds)
+		rn.flushVec.With(opt.Scenario.Letter()).Add(mispreds)
 	}
 
 	res := Result{
@@ -313,9 +360,82 @@ func Run[C any](p predictor.Predictor[C], name, category string, src trace.Sourc
 	return res
 }
 
+// RunTrace reuses the Runner's buffers over a materialised trace.
+func (rn *Runner[C]) RunTrace(p predictor.Predictor[C], tr *trace.Trace, opt Options) Result {
+	rn.cursor.Seek(tr)
+	res := rn.Run(p, tr.Name, tr.Category, &rn.cursor, opt)
+	rn.cursor.Seek(nil)
+	return res
+}
+
+// Run simulates predictor p over the branches of src with a one-shot
+// Runner. The predictor must be freshly constructed (no state reuse
+// across runs); callers re-running many cells should hold a Runner and a
+// Reset predictor instead.
+func Run[C any](p predictor.Predictor[C], name, category string, src trace.Source, opt Options) Result {
+	var rn Runner[C]
+	return rn.Run(p, name, category, src, opt)
+}
+
 // RunTrace is a convenience wrapper over Run for materialised traces.
 func RunTrace[C any](p predictor.Predictor[C], tr *trace.Trace, opt Options) Result {
 	return Run(p, tr.Name, tr.Category, tr.Reader(), opt)
+}
+
+// RunShards simulates one predictor configuration over many independent
+// traces, sharding the traces across worker goroutines. Shard s owns a
+// predictor built by mk(s) and a reusable Runner, runs the traces at
+// indices s, s+workers, s+2*workers, ... (a deterministic stride, so the
+// trace-to-shard assignment never depends on scheduling), and Resets the
+// predictor between traces. Every trace therefore starts cold, and the
+// returned slice — results[i] belongs to traces[i] — is byte-identical to
+// running each trace serially on a fresh predictor, except for the
+// wall-clock telemetry fields (Elapsed, BranchesPerSec).
+//
+// When opt.Metrics is set, each shard additionally advances the
+// MetricShardBranches family labelled with its shard index, once per
+// trace, so a live scrape shows how the cell's work spreads over shards.
+func RunShards[C any](mk func(shard int) predictor.Predictor[C], traces []*trace.Trace, workers int, opt Options) []Result {
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(traces) {
+		workers = len(traces)
+	}
+	results := make([]Result, len(traces))
+	var shardVec *metrics.CounterVec
+	if opt.Metrics != nil {
+		shardVec = opt.Metrics.CounterVec(MetricShardBranches, HelpShardBranches, "shard")
+	}
+	runShard := func(shard int) {
+		p := mk(shard)
+		var rn Runner[C]
+		var ctr *metrics.Counter
+		if shardVec != nil {
+			ctr = shardVec.With(strconv.Itoa(shard))
+		}
+		for i := shard; i < len(traces); i += workers {
+			if i != shard {
+				p.Reset()
+			}
+			results[i] = rn.RunTrace(p, traces[i], opt)
+			ctr.Add(results[i].Branches)
+		}
+	}
+	if workers == 1 {
+		runShard(0)
+		return results
+	}
+	var wg sync.WaitGroup
+	for s := 0; s < workers; s++ {
+		wg.Add(1)
+		go func(shard int) {
+			defer wg.Done()
+			runShard(shard)
+		}(s)
+	}
+	wg.Wait()
+	return results
 }
 
 // Suite aggregates per-trace results the way the paper reports them: the

@@ -116,7 +116,7 @@ func TestScenarioBNeverReadsFreshState(t *testing.T) {
 	p.Predict(pc, &ctx)
 	if ctx.Provider > 0 {
 		// Clobber the provider counter behind the pipeline's back.
-		e := &p.table(ctx.Provider - 1)[ctx.Indices[ctx.Provider-1]]
+		e := &p.table(ctx.Provider - 1)[ctx.Index(ctx.Provider-1)]
 		e.ctr = -4
 		p.OnResolve(pc, true, false, &ctx)
 		p.Retire(pc, true, &ctx, false) // scenario B: uses ctx snapshot (+3 -> stays 3)

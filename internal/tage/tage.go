@@ -12,6 +12,7 @@ package tage
 
 import (
 	"fmt"
+	"math/bits"
 
 	"repro/internal/bimodal"
 	"repro/internal/bitutil"
@@ -192,6 +193,11 @@ type Predictor struct {
 	idxBits []uint // log2 entries (full table)
 
 	ghist *histories.Global
+	// folds keeps each table's three folded histories in one flat slice:
+	// the predict loop is read-dominated (three fold reads per table per
+	// branch against one update), so the pre-extracted scalar layout beats
+	// the packed word engine here — see internal/histories/packed.go for
+	// where the packed layout does win.
 	folds []histories.TableFolds
 
 	useAlt int32  // USE_ALT_ON_NA, 4-bit signed counter
@@ -216,14 +222,16 @@ type tableMeta struct {
 }
 
 // Ctx is the TAGE pipeline context: everything read at prediction time.
+//
+// The per-table snapshot (physical index, tag, counter, useful bit) is
+// packed into one uint64 per table — a single store per table in the
+// predict loop instead of five scattered array writes, and a third of the
+// pipeline-ring footprint. Read it back through Index/Tag/Ctr/U.
 type Ctx struct {
-	BimIdx  uint32
-	BimCtr  int32
-	Indices [MaxTables]uint32 // physical indices (bank included if interleaved)
-	Tags    [MaxTables]uint16
-	Ctrs    [MaxTables]int8
-	Us      [MaxTables]uint8
-	Hit     [MaxTables]bool
+	BimIdx uint32
+	BimCtr int32
+	// Ent[i] = index | tag<<32 | uint8(ctr)<<48 | u<<56 for table i.
+	Ent [MaxTables]uint64
 
 	Provider int // provider component: 0 = bimodal, 1..M = tagged
 	Alt      int // alternate component: 0 = bimodal
@@ -239,6 +247,19 @@ type Ctx struct {
 	IUMHit    bool
 	IUMCtr    int32
 }
+
+// Index returns the physical index captured for table i (bank included
+// when interleaved).
+func (c *Ctx) Index(i int) uint32 { return uint32(c.Ent[i]) }
+
+// Tag returns the tag computed for table i.
+func (c *Ctx) Tag(i int) uint16 { return uint16(c.Ent[i] >> 32) }
+
+// Ctr returns the prediction counter read from table i.
+func (c *Ctx) Ctr(i int) int8 { return int8(uint8(c.Ent[i] >> 48)) }
+
+// U returns the useful bit read from table i.
+func (c *Ctx) U(i int) uint8 { return uint8(c.Ent[i] >> 56) }
 
 // New builds a TAGE predictor from cfg.
 func New(cfg Config) *Predictor {
@@ -318,7 +339,7 @@ func (p *Predictor) StorageBits() int {
 func (p *Predictor) Lengths() []int { return p.lengths }
 
 // NumTables returns the number of tagged components.
-func (p *Predictor) NumTables() int { return len(p.folds) }
+func (p *Predictor) NumTables() int { return len(p.meta) }
 
 // IUM returns the attached Immediate Update Mimicker, or nil.
 func (p *Predictor) IUM() *ium.Buffer { return p.ium }
@@ -348,7 +369,7 @@ func (p *Predictor) Predict(pc uint64, ctx *Ctx) bool {
 	}
 	meta := p.meta[:len(folds)]
 	entries := p.entries
-	provider, alt := 0, 0
+	var hits uint32
 	h := uint32(pc >> 2)
 	if bank == 0 {
 		// Common case (non-interleaved, or bank 0): the bank term is zero,
@@ -359,16 +380,15 @@ func (p *Predictor) Predict(pc uint64, ctx *Ctx) bool {
 			idx := (h ^ (h >> (mt.idxShift & 31)) ^ f.Idx.Value()) & mt.idxMask
 			tg := uint16(h^f.Tag1.Value()^(f.Tag2.Value()<<1)) & mt.tagMask
 			e := entries[mt.offset+idx]
-			ctx.Indices[i] = idx
-			ctx.Tags[i] = tg
-			ctx.Ctrs[i] = e.ctr
-			ctx.Us[i] = e.u
-			hit := e.tag == tg
-			ctx.Hit[i] = hit
-			if hit {
-				alt = provider
-				provider = i + 1
+			ctx.Ent[i] = uint64(idx) | uint64(tg)<<32 | uint64(uint8(e.ctr))<<48 | uint64(e.u)<<56
+			// Branchless hit accumulation: the provider scan becomes a
+			// leading-bit count after the loop instead of a data-dependent
+			// (and mispredict-prone) in-loop update.
+			var hb uint32
+			if e.tag == tg {
+				hb = 1
 			}
+			hits |= hb << (uint(i) & 31)
 		}
 	} else {
 		for i := range folds {
@@ -377,22 +397,25 @@ func (p *Predictor) Predict(pc uint64, ctx *Ctx) bool {
 			idx := (h^(h>>(mt.idxShift&31))^f.Idx.Value())&mt.idxMask | bank<<(mt.bankShift&31)
 			tg := uint16(h^f.Tag1.Value()^(f.Tag2.Value()<<1)) & mt.tagMask
 			e := entries[mt.offset+idx]
-			ctx.Indices[i] = idx
-			ctx.Tags[i] = tg
-			ctx.Ctrs[i] = e.ctr
-			ctx.Us[i] = e.u
-			hit := e.tag == tg
-			ctx.Hit[i] = hit
-			if hit {
-				alt = provider
-				provider = i + 1
+			ctx.Ent[i] = uint64(idx) | uint64(tg)<<32 | uint64(uint8(e.ctr))<<48 | uint64(e.u)<<56
+			var hb uint32
+			if e.tag == tg {
+				hb = 1
 			}
+			hits |= hb << (uint(i) & 31)
 		}
+	}
+	// The highest-numbered hit provides, the next highest is the
+	// alternate — exactly the descending scan of Section 3.1.
+	provider := bits.Len32(hits)
+	alt := 0
+	if provider > 0 {
+		alt = bits.Len32(hits &^ (1 << (uint(provider-1) & 31)))
 	}
 	ctx.Provider, ctx.Alt = provider, alt
 	bimPred := bimodal.Taken(ctx.BimCtr)
 	if provider > 0 {
-		c := int32(ctx.Ctrs[provider-1])
+		c := int32(ctx.Ctr(provider - 1))
 		ctx.ProvPred = bitutil.TakenSign(c)
 		ctx.WeakProv = bitutil.IsWeak(c)
 	} else {
@@ -400,7 +423,7 @@ func (p *Predictor) Predict(pc uint64, ctx *Ctx) bool {
 		ctx.WeakProv = false
 	}
 	if alt > 0 {
-		ctx.AltPred = bitutil.TakenSign(int32(ctx.Ctrs[alt-1]))
+		ctx.AltPred = bitutil.TakenSign(int32(ctx.Ctr(alt - 1)))
 	} else {
 		ctx.AltPred = bimPred
 	}
@@ -424,7 +447,7 @@ func (p *Predictor) Predict(pc uint64, ctx *Ctx) bool {
 // bimodal index when the base predictor provides).
 func (p *Predictor) providerIndex(ctx *Ctx) uint32 {
 	if ctx.Provider > 0 {
-		return ctx.Indices[ctx.Provider-1]
+		return ctx.Index(ctx.Provider - 1)
 	}
 	return ctx.BimIdx
 }
@@ -433,7 +456,7 @@ func (p *Predictor) providerIndex(ctx *Ctx) uint32 {
 // (bimodal 0..3 maps to -2..1) together with its width in bits.
 func providerSignedCtr(ctx *Ctx) (int32, uint) {
 	if ctx.Provider > 0 {
-		return int32(ctx.Ctrs[ctx.Provider-1]), CtrBits
+		return int32(ctx.Ctr(ctx.Provider - 1)), CtrBits
 	}
 	return ctx.BimCtr - 2, 2
 }
@@ -466,9 +489,6 @@ func (p *Predictor) OnResolve(pc uint64, taken, mispredicted bool, ctx *Ctx) {
 		}
 	}
 	p.ghist.Push(taken)
-	// Combined fold update: the newest bit is the outcome just pushed, so
-	// the only per-table history read is the bit expiring from its window
-	// — M history reads instead of 6M.
 	histories.UpdateAll(p.ghist, p.folds, taken)
 }
 
@@ -485,10 +505,10 @@ func (p *Predictor) Retire(pc uint64, taken bool, ctx *Ctx, reread bool) {
 	// (the retire path allocates nothing: no read closures, no defer).
 	var provCtr, altCtr int32
 	if provider > 0 {
-		provCtr = int32(ctx.Ctrs[provider-1])
+		provCtr = int32(ctx.Ctr(provider - 1))
 	}
 	if alt > 0 {
-		altCtr = int32(ctx.Ctrs[alt-1])
+		altCtr = int32(ctx.Ctr(alt - 1))
 	}
 
 	// Entry pointers for the provider and alternate: resolved once and
@@ -501,13 +521,13 @@ func (p *Predictor) Retire(pc uint64, taken bool, ctx *Ctx, reread bool) {
 		// fetch-time history, so indices and tags are unchanged).
 		bimCtr = p.bim.Read(ctx.BimIdx)
 		provider, alt = 0, 0
-		m := len(p.folds)
+		m := len(p.meta)
 		if m > MaxTables {
 			m = MaxTables // never taken; lets the compiler drop ctx bounds checks
 		}
 		for i := m - 1; i >= 0; i-- {
-			e := &p.entries[p.meta[i].offset+ctx.Indices[i]]
-			if e.tag != ctx.Tags[i] {
+			e := &p.entries[p.meta[i].offset+ctx.Index(i)]
+			if e.tag != ctx.Tag(i) {
 				continue
 			}
 			if provider == 0 {
@@ -536,10 +556,10 @@ func (p *Predictor) Retire(pc uint64, taken bool, ctx *Ctx, reread bool) {
 		}
 	} else {
 		if provider > 0 {
-			provE = &p.entries[p.meta[provider-1].offset+ctx.Indices[provider-1]]
+			provE = &p.entries[p.meta[provider-1].offset+ctx.Index(provider-1)]
 		}
 		if alt > 0 {
-			altE = &p.entries[p.meta[alt-1].offset+ctx.Indices[alt-1]]
+			altE = &p.entries[p.meta[alt-1].offset+ctx.Index(alt-1)]
 		}
 	}
 
@@ -559,11 +579,7 @@ func (p *Predictor) Retire(pc uint64, taken bool, ctx *Ctx, reread bool) {
 			// USE_ALT_ON_NA: monitor whether the alternate beats a weak
 			// provider.
 			if provPred != altPred {
-				if altPred == taken {
-					p.useAlt = bitutil.SatIncSigned(p.useAlt, 4)
-				} else {
-					p.useAlt = bitutil.SatDecSigned(p.useAlt, 4)
-				}
+				p.useAlt = bitutil.SatUpdateSigned(p.useAlt, altPred == taken, 4)
 			}
 		}
 		// u is set when the provider was correct and the alternate was
@@ -578,7 +594,7 @@ func (p *Predictor) Retire(pc uint64, taken bool, ctx *Ctx, reread bool) {
 	// (2) Allocate new entries on a misprediction (Section 3.2.1): up to
 	// MaxAlloc entries on non-consecutive tables above the provider,
 	// chosen among useless (u == 0) entries.
-	if mispredicted && provider < len(p.folds) {
+	if mispredicted && provider < len(p.meta) {
 		p.allocate(ctx, provider, taken, reread)
 	}
 
@@ -587,24 +603,20 @@ func (p *Predictor) Retire(pc uint64, taken bool, ctx *Ctx, reread bool) {
 	}
 }
 
-// writeCtr writes a tagged-entry counter with silent-write elimination.
+// writeCtr writes a tagged-entry counter, accounting silent writes. The
+// store is unconditional (rewriting an equal byte is free; branching on the
+// data-dependent comparison is not) and only the accounting uses it.
 func (p *Predictor) writeCtr(e *entry, v int32) {
-	if e.ctr != int8(v) {
-		e.ctr = int8(v)
-		p.stats.RecordWrite(true)
-	} else {
-		p.stats.RecordWrite(false)
-	}
+	eff := e.ctr != int8(v)
+	e.ctr = int8(v)
+	p.stats.RecordWrite(eff)
 }
 
-// writeU writes a tagged-entry useful bit with silent-write elimination.
+// writeU writes a tagged-entry useful bit, accounting silent writes.
 func (p *Predictor) writeU(e *entry, v uint8) {
-	if e.u != v {
-		e.u = v
-		p.stats.RecordWrite(true)
-	} else {
-		p.stats.RecordWrite(false)
-	}
+	eff := e.u != v
+	e.u = v
+	p.stats.RecordWrite(eff)
 }
 
 // allocate implements the multi-entry allocation policy with the 8-bit
@@ -612,7 +624,7 @@ func (p *Predictor) writeU(e *entry, v uint8) {
 // u bits are consulted from current table state, otherwise from the
 // fetch-time snapshot in ctx (mirroring the Retire read policy).
 func (p *Predictor) allocate(ctx *Ctx, provider int, taken bool, reread bool) {
-	m := len(p.folds)
+	m := len(p.meta)
 	start := provider + 1
 	// Randomise the starting table by one position to avoid systematically
 	// starving longer-history tables.
@@ -621,13 +633,13 @@ func (p *Predictor) allocate(ctx *Ctx, provider int, taken bool, reread bool) {
 	}
 	allocated := 0
 	for t := start; t <= m && allocated < p.cfg.MaxAlloc; {
-		u := ctx.Us[t-1]
+		u := ctx.U(t - 1)
 		if reread {
-			u = p.entries[p.meta[t-1].offset+ctx.Indices[t-1]].u
+			u = p.entries[p.meta[t-1].offset+ctx.Index(t-1)].u
 		}
 		if u == 0 {
-			e := &p.entries[p.meta[t-1].offset+ctx.Indices[t-1]]
-			e.tag = ctx.Tags[t-1]
+			e := &p.entries[p.meta[t-1].offset+ctx.Index(t-1)]
+			e.tag = ctx.Tag(t - 1)
 			e.ctr = int8(bitutil.WeakTaken)
 			if !taken {
 				e.ctr = int8(bitutil.WeakNotTaken)
@@ -654,6 +666,31 @@ func (p *Predictor) allocate(ctx *Ctx, provider int, taken bool, reread bool) {
 
 // AccessStats implements predictor.Predictor.
 func (p *Predictor) AccessStats() *memarray.Stats { return p.stats }
+
+// Reset implements predictor.Predictor: tagged entries, bimodal base,
+// histories and folds, allocation state, RNG stream and accounting all
+// return to the freshly-constructed state, reusing every allocation — the
+// pooled-predictor fast path.
+func (p *Predictor) Reset() {
+	for i := range p.entries {
+		p.entries[i] = entry{}
+	}
+	p.bim.Reset()
+	p.ghist.Reset()
+	for i := range p.folds {
+		p.folds[i].Reset()
+	}
+	p.useAlt = 0
+	p.tick = 0
+	p.rand.Reseed(p.cfg.Seed ^ 0x7a6e_0001)
+	if p.banks != nil {
+		p.banks.Reset()
+	}
+	if p.ium != nil {
+		p.ium.Reset()
+	}
+	p.stats.Reset()
+}
 
 // TableBits returns the per-structure storage in bits (bimodal first, then
 // each tagged table), for the area/energy model.

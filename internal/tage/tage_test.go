@@ -184,7 +184,7 @@ func TestNonConsecutiveAllocation(t *testing.T) {
 	p.Retire(pc, true, &ctx, true)
 	var allocTables []int
 	for i := 0; i < p.NumTables(); i++ {
-		if p.table(i)[ctx.Indices[i]].tag == ctx.Tags[i] && ctx.Tags[i] != 0 {
+		if p.table(i)[ctx.Index(i)].tag == ctx.Tag(i) && ctx.Tag(i) != 0 {
 			allocTables = append(allocTables, i)
 		}
 	}
@@ -258,8 +258,8 @@ func TestInterleavedIndicesInRange(t *testing.T) {
 		pc := uint64(r.Uint32())
 		p.Predict(pc, &ctx)
 		for ti := 0; ti < p.NumTables(); ti++ {
-			if int(ctx.Indices[ti]) >= len(p.table(ti)) {
-				t.Fatalf("index out of range: table %d idx %d", ti, ctx.Indices[ti])
+			if int(ctx.Index(ti)) >= len(p.table(ti)) {
+				t.Fatalf("index out of range: table %d idx %d", ti, ctx.Index(ti))
 			}
 		}
 		p.OnResolve(pc, r.Bool(0.5), false, &ctx)

@@ -85,6 +85,38 @@ func (s *sliceSource) NextBatch(dst []Branch) int {
 	return n
 }
 
+// Cursor is a reusable Source over materialised traces: Seek re-points it
+// at a trace and rewinds, so pooled simulation runs avoid the per-run
+// Reader allocation. The zero value is an exhausted source.
+type Cursor struct {
+	t *Trace
+	i int
+}
+
+// Seek points the cursor at the start of t (nil empties the cursor).
+func (c *Cursor) Seek(t *Trace) { c.t, c.i = t, 0 }
+
+// Next implements Source.
+func (c *Cursor) Next() (Branch, bool) {
+	if c.t == nil || c.i >= len(c.t.Branches) {
+		return Branch{}, false
+	}
+	b := c.t.Branches[c.i]
+	c.i++
+	return b, true
+}
+
+// NextBatch implements Batcher: one bulk copy out of the materialised
+// slice per decode block.
+func (c *Cursor) NextBatch(dst []Branch) int {
+	if c.t == nil {
+		return 0
+	}
+	n := copy(dst, c.t.Branches[c.i:])
+	c.i += n
+	return n
+}
+
 // Collect materialises up to limit branches from a source (limit <= 0 means
 // no limit).
 func Collect(name, category string, src Source, limit int) *Trace {

@@ -1,0 +1,109 @@
+package repro
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// Property suite for the predictor pool and intra-cell parallelism.
+// The contract under test is the one NewRunner and RunSuite document:
+// a pooled instance Reset between runs, and a suite sharded across
+// goroutines, are both byte-identical to fresh serial Run calls. The
+// specs are drawn from the declarative grammar so arbitrary points of
+// the design space — not just the named models — are covered.
+
+// propertySpecs samples the spec grammar deterministically: every kind,
+// parameterised variants, budget-scaled variants, and composite stacks.
+func propertySpecs(t *testing.T, rng *rand.Rand) []ModelSpec {
+	t.Helper()
+	raw := []string{
+		"tage",
+		"gshare",
+		"gehl",
+		"ohsnap",
+		"ftlpp",
+		"tage-lsc",
+		fmt.Sprintf("tage:tables=%d,hist=%d:%d", 5+rng.Intn(8), 4+rng.Intn(4), 200+rng.Intn(400)),
+		fmt.Sprintf("gshare:log=%d", 12+rng.Intn(6)),
+		"composed:tage+ium",
+		fmt.Sprintf("tage@%+d", 1-rng.Intn(3)),
+	}
+	specs := make([]ModelSpec, 0, len(raw))
+	for _, s := range raw {
+		spec, err := ParseSpec(s)
+		if err != nil {
+			t.Fatalf("ParseSpec(%q): %v", s, err)
+		}
+		specs = append(specs, spec)
+	}
+	return specs
+}
+
+// normalize zeroes the wall-clock fields, the only legitimate
+// difference between two runs of the same cell.
+func normalize(r Result) Result {
+	r.Elapsed = 0
+	r.BranchesPerSec = 0
+	return r
+}
+
+// TestPooledRunnerMatchesFreshAcrossSpecs: for random specs, scenarios
+// and traces, a NewRunner closure run repeatedly (dirty pool, Reset
+// between calls) returns exactly what fresh Model.Run calls return.
+func TestPooledRunnerMatchesFreshAcrossSpecs(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	scenarios := []Scenario{ScenarioI, ScenarioA, ScenarioB, ScenarioC}
+	names := TraceNames()
+	for _, spec := range propertySpecs(t, rng) {
+		spec := spec
+		t.Run(spec.Canonical(), func(t *testing.T) {
+			t.Parallel()
+			m, err := spec.Build()
+			if err != nil {
+				t.Fatalf("Build(%s): %v", spec, err)
+			}
+			run := m.NewRunner()
+			for i := 0; i < 3; i++ {
+				sc := scenarios[rng.Intn(len(scenarios))]
+				name := names[rng.Intn(len(names))]
+				opt := Options{Scenario: sc, Window: 16 + 8*rng.Intn(2)}
+				tr := GenerateTrace(name, 1500+rng.Intn(1500))
+				pooled := normalize(run(tr, opt))
+				fresh := normalize(m.Run(tr, opt))
+				if !reflect.DeepEqual(pooled, fresh) {
+					t.Fatalf("run %d (%s, scenario %v): pooled runner diverged from fresh run\npooled: %+v\nfresh:  %+v",
+						i, name, sc, pooled, fresh)
+				}
+			}
+		})
+	}
+}
+
+// TestRunSuiteShardingZeroMovement: RunSuite over a subset of the suite
+// must return identical per-trace results for any worker count —
+// sharding is scheduling, never measurement.
+func TestRunSuiteShardingZeroMovement(t *testing.T) {
+	names := []string{"INT01", "CLIENT01", "MM05", "SERVER03", "WS07", "INT04", "MM01"}
+	for _, modelName := range []string{"tage", "gshare"} {
+		m, err := LookupModel(modelName)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt := Options{Scenario: ScenarioA, Window: 24}
+		serial := m.RunSuite(names, 2500, opt, 1)
+		for _, workers := range []int{2, 4, len(names), len(names) + 9} {
+			par := m.RunSuite(names, 2500, opt, workers)
+			if len(par) != len(serial) {
+				t.Fatalf("%s workers=%d: %d results, want %d", modelName, workers, len(par), len(serial))
+			}
+			for i := range serial {
+				if got, want := normalize(par[i]), normalize(serial[i]); !reflect.DeepEqual(got, want) {
+					t.Fatalf("%s workers=%d trace %s: sharded result moved\ngot:  %+v\nwant: %+v",
+						modelName, workers, names[i], got, want)
+				}
+			}
+		}
+	}
+}

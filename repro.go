@@ -84,12 +84,14 @@ type Model struct {
 // instance abstracts over the per-predictor context type.
 type instance interface {
 	run(tr *Trace, opt Options) Result
+	reset()
 	predict(pc uint64) bool
 	update(pc uint64, taken bool)
 }
 
 type typedInstance[C any] struct {
 	p       predictor.Predictor[C]
+	rn      sim.Runner[C]
 	ctx     C
 	pending uint64
 	valid   bool
@@ -97,7 +99,18 @@ type typedInstance[C any] struct {
 }
 
 func (ti *typedInstance[C]) run(tr *Trace, opt Options) Result {
-	return sim.RunTrace(ti.p, tr, opt)
+	return ti.rn.RunTrace(ti.p, tr, opt)
+}
+
+// reset returns the instance to its freshly-constructed state, reusing the
+// predictor's warmed storage and the simulation buffers.
+func (ti *typedInstance[C]) reset() {
+	ti.p.Reset()
+	var zero C
+	ti.ctx = zero
+	ti.pending = 0
+	ti.valid = false
+	ti.pred = false
 }
 
 func (ti *typedInstance[C]) predict(pc uint64) bool {
@@ -136,6 +149,24 @@ func (m *Model) StorageBits() int { return m.bits }
 // Run simulates the model over a trace from cold state.
 func (m *Model) Run(tr *Trace, opt Options) Result {
 	return m.mk().run(tr, opt)
+}
+
+// NewRunner returns a reusable run function backed by one pooled predictor
+// instance: every call starts from cold state (the predictor is Reset
+// between runs) but reuses the warmed table storage and simulation
+// buffers, so repeated runs allocate nothing. Results are byte-identical
+// to Model.Run. The returned function is not safe for concurrent use;
+// create one runner per goroutine.
+func (m *Model) NewRunner() func(tr *Trace, opt Options) Result {
+	inst := m.mk()
+	dirty := false
+	return func(tr *Trace, opt Options) Result {
+		if dirty {
+			inst.reset()
+		}
+		dirty = true
+		return inst.run(tr, opt)
+	}
 }
 
 // Session is a stateful predictor handle for direct use: call Predict to

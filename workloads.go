@@ -2,6 +2,7 @@ package repro
 
 import (
 	"io"
+	"sync"
 
 	"repro/internal/experiments"
 	"repro/internal/trace"
@@ -36,6 +37,44 @@ func GenerateTrace(name string, branches int) *Trace {
 		panic(err)
 	}
 	return tr
+}
+
+// RunSuite simulates the model over each named synthetic trace of
+// `branches` branches, sharding the names across `workers` goroutines
+// (the bpsim -cell-par knob). Shard s owns names s, s+workers, ... and
+// runs them on one pooled instance, generating its own traces and
+// resetting the predictor between them — every trace still starts
+// cold, so each Result is byte-identical to a serial GenerateTrace +
+// Run loop for any worker count. Results come back in input order.
+// workers outside [1, len(names)] is clamped.
+func (m *Model) RunSuite(names []string, branches int, opt Options, workers int) []Result {
+	results := make([]Result, len(names))
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(names) {
+		workers = len(names)
+	}
+	runShard := func(s int) {
+		run := m.NewRunner()
+		for i := s; i < len(names); i += workers {
+			results[i] = run(GenerateTrace(names[i], branches), opt)
+		}
+	}
+	if workers == 1 {
+		runShard(0)
+		return results
+	}
+	var wg sync.WaitGroup
+	for s := 0; s < workers; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			runShard(s)
+		}(s)
+	}
+	wg.Wait()
+	return results
 }
 
 // WriteTrace encodes a trace in the compact binary format.
