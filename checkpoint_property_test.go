@@ -1,0 +1,136 @@
+package repro
+
+import (
+	"encoding/binary"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// The checkpoint/resume property suite. PR 8's contract: for any model
+// spec, scenario and split point, snapshotting a simulation mid-trace
+// and continuing from the restored snapshot produces a Result
+// byte-identical to the uninterrupted run — the warm cache can never
+// change what a sweep measures, only when its work happens.
+
+// stripResumeTiming zeroes the fields that legitimately differ between
+// a full run and a resumed one: wall-clock telemetry and the resume
+// bookkeeping itself.
+func stripResumeTiming(r Result) Result {
+	r.Elapsed, r.BranchesPerSec = 0, 0
+	r.ResumedAt = 0
+	return r
+}
+
+// checkpointSpecs spans the predictor zoo: every named model (all ~10
+// Snapshot/Restore implementations, including the composed ISL-TAGE /
+// LSC stacks and the neural and FTL++ outliers), parameterised specs,
+// an explicit composed stack, and @±d scaled variants.
+var checkpointSpecs = []string{
+	"tage", "gshare", "gehl", "ftlpp", "ohsnap",
+	"isl-tage", "tage-ium", "tage-lsc", "tage-lsc-banked",
+	"tage:tables=9,hist=6:300",
+	"gshare:log=13",
+	"composed:tage+ium+lsc",
+	"tage@+1",
+	"tage-lsc@-1",
+}
+
+func TestCheckpointResumeProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(0x5e2c))
+	scenarios := []Scenario{ScenarioI, ScenarioA, ScenarioB, ScenarioC}
+	traces := []string{"INT01", "MM05", "SERVER03", "WS07"}
+	const branches = 12000
+
+	for i, spec := range checkpointSpecs {
+		spec := spec
+		sc := scenarios[i%len(scenarios)]
+		trName := traces[rng.Intn(len(traces))]
+		split := uint64(1000 + rng.Intn(branches-2000)) // random mid-trace split
+		t.Run(spec, func(t *testing.T) {
+			m, err := LookupModel(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tr := GenerateTrace(trName, branches)
+			opt := Options{Scenario: sc, Window: 16, ExecDelay: 4}
+			want := stripResumeTiming(m.Run(tr, opt))
+
+			var cks []Checkpoint
+			ckOpt := opt
+			ckOpt.CheckpointEvery = split
+			ckOpt.OnCheckpoint = func(blob []byte, at uint64) {
+				cks = append(cks, Checkpoint{At: at, Blob: append([]byte(nil), blob...)})
+			}
+			if got := stripResumeTiming(m.Run(tr, ckOpt)); got != want {
+				t.Fatalf("emitting checkpoints perturbed the run:\n  with:    %+v\n  without: %+v", got, want)
+			}
+			if len(cks) < 2 {
+				t.Fatalf("got %d checkpoints, want a mid-trace one and the final one", len(cks))
+			}
+			// First (mid-trace) and last (end-of-trace) splits both must
+			// continue to the uninterrupted result.
+			for _, ck := range []Checkpoint{cks[0], cks[len(cks)-1]} {
+				ck := ck
+				rOpt := opt
+				rOpt.Resume = &ck
+				got := m.Run(tr, rOpt)
+				if got.ResumeErr != nil {
+					t.Fatalf("%s %s split %d: resume failed: %v", trName, sc, ck.At, got.ResumeErr)
+				}
+				if got.ResumedAt != ck.At {
+					t.Errorf("split %d: run skipped %d branches", ck.At, got.ResumedAt)
+				}
+				if g := stripResumeTiming(got); g != want {
+					t.Errorf("%s %s split %d: resumed run diverges:\n  resumed: %+v\n  full:    %+v",
+						trName, sc, ck.At, g, want)
+				}
+			}
+		})
+	}
+}
+
+// TestCheckpointRefusesNewerFormat: a blob stamped with a future format
+// version must be refused with a message pointing at the version skew —
+// never half-decoded — and the run must fall back to a cold start that
+// matches an uncheckpointed run exactly.
+func TestCheckpointRefusesNewerFormat(t *testing.T) {
+	m, err := LookupModel("tage")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := GenerateTrace("INT01", 6000)
+	opt := Options{Scenario: ScenarioA}
+	want := stripResumeTiming(m.Run(tr, opt))
+
+	var blob []byte
+	ckOpt := opt
+	ckOpt.CheckpointEvery = 2000
+	ckOpt.OnCheckpoint = func(b []byte, at uint64) {
+		if blob == nil {
+			blob = append([]byte(nil), b...)
+		}
+	}
+	m.Run(tr, ckOpt)
+	if len(blob) < 6 {
+		t.Fatalf("no checkpoint captured")
+	}
+	// Bytes 4..5 hold the little-endian format version after the magic.
+	future := append([]byte(nil), blob...)
+	binary.LittleEndian.PutUint16(future[4:6], binary.LittleEndian.Uint16(blob[4:6])+1)
+
+	rOpt := opt
+	rOpt.Resume = &Checkpoint{Blob: future}
+	got := m.Run(tr, rOpt)
+	if got.ResumeErr == nil {
+		t.Fatal("future-format blob was accepted")
+	}
+	if msg := got.ResumeErr.Error(); !strings.Contains(msg, "understands at most format") {
+		t.Fatalf("refusal does not explain the version skew: %v", msg)
+	}
+	g := got
+	g.ResumeErr = nil
+	if stripResumeTiming(g) != want {
+		t.Fatalf("cold fallback after refusal diverges from a cold run:\n  got:  %+v\n  want: %+v", stripResumeTiming(g), want)
+	}
+}

@@ -100,6 +100,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		cellPar     = fs.Int("cell-par", 0, "intra-cell workers: shard each cell group's traces across this many goroutines (deterministic; 0/1 = off)")
 		window      = fs.Int("window", 0, "in-flight branch window (default 24)")
 		execDelay   = fs.Int("execdelay", 0, "fetch-to-execute distance in branches (default 6)")
+		warmCache   = fs.Bool("warm-cache", false, "checkpoint every cell into a store-adjacent blob cache (derived from -resume or -o: path + \".ckpt/\") and warm-start matching cells from it on repeat runs")
+		warmDir     = fs.String("warm-cache-dir", "", "blob cache directory for -warm-cache (overrides the derived location; implies -warm-cache)")
+		ckEvery     = fs.Uint64("checkpoint-every", 0, "periodic checkpoint interval in branches for -warm-cache (default 1000000)")
 		noCache     = fs.Bool("notracecache", false, "regenerate the trace for every job instead of sharing per (trace, length)")
 		noPool      = fs.Bool("nopredictorpool", false, "construct a fresh predictor per cell instead of Reset-reusing a pooled instance per worker")
 		noAgg       = fs.Bool("noaggregates", false, "suppress category/hard/suite rollup records")
@@ -246,6 +249,39 @@ func run(args []string, stdout, stderr io.Writer) int {
 	// interpretable after the predictor changes underneath them.
 	prov := repro.CurrentProvenance()
 	cfg := repro.BenchConfig{Parallelism: *parallel, IntraCellWorkers: *cellPar, NoTraceCache: *noCache, NoAggregates: *noAgg, NoPredictorPool: *noPool, Provenance: &prov, Metrics: reg}
+	if *warmDir != "" {
+		*warmCache = true
+	}
+	if *warmCache {
+		dir := *warmDir
+		if dir == "" {
+			switch {
+			case *resume != "":
+				dir = repro.BenchWarmCacheDir(*resume)
+			case *outPath != "":
+				dir = repro.BenchWarmCacheDir(*outPath)
+			default:
+				log.Error("bpbench: -warm-cache derives its blob directory from -resume or -o; set one, or pass -warm-cache-dir")
+				return 2
+			}
+		}
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			log.Error(fmt.Sprintf("bpbench: -warm-cache: %v", err))
+			return 2
+		}
+		if reg == nil {
+			// The hit/miss counters live on a registry; the summary line
+			// below needs one even when nothing else scrapes it.
+			reg = repro.NewMetricsRegistry()
+		}
+		cfg.WarmCache = dir
+		cfg.CheckpointEvery = *ckEvery
+		cfg.Metrics = reg
+		defer func() {
+			hits, misses := repro.BenchWarmCacheStats(reg)
+			log.Info(fmt.Sprintf("bpbench: warm cache %s: %d hits, %d misses", dir, hits, misses))
+		}()
+	}
 	if *resume != "" {
 		// The store is the output: format and destination are fixed.
 		if *outPath != "" {

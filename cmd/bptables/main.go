@@ -32,6 +32,7 @@ func main() {
 	branches := flag.Int("branches", 200000, "branches per trace")
 	markdown := flag.Bool("markdown", false, "emit markdown instead of text")
 	store := flag.String("store", "", "resumable JSONL result store for the harness-backed sweeps (E11): interrupted runs continue, complete ones re-render for free")
+	warm := flag.Bool("warm-cache", false, "keep a checkpoint blob cache next to -store (store + \".ckpt/\"): cells warm-start from cached snapshots and interrupted cells resume mid-trace (requires -store)")
 	model := flag.String("model", "", "evaluate this model spec over the full suite instead of running experiments (scenario A)")
 	cellPar := flag.Int("cell-par", 0, "intra-cell workers for harness-backed runs: shard each cell group's traces across this many goroutines (deterministic; 0/1 = off)")
 	verbose, quiet := cli.Verbosity(flag.CommandLine)
@@ -43,6 +44,11 @@ func main() {
 		os.Exit(2)
 	}
 
+	if *warm && *store == "" {
+		log.Error("bptables: -warm-cache caches checkpoints next to the result store; set -store")
+		os.Exit(2)
+	}
+
 	if *model != "" {
 		if *expFlag != "" || *store != "" || *markdown {
 			log.Error("bptables: -model runs a one-off suite evaluation (plain table only); drop -exp/-store/-markdown")
@@ -51,7 +57,7 @@ func main() {
 		os.Exit(runModelSpec(*model, *branches, *cellPar, log))
 	}
 
-	cfg := repro.ExperimentConfig{BranchesPerTrace: *branches, ResultStore: *store, IntraCellWorkers: *cellPar}
+	cfg := repro.ExperimentConfig{BranchesPerTrace: *branches, ResultStore: *store, IntraCellWorkers: *cellPar, WarmCache: *warm}
 	ids := repro.ExperimentIDs()
 	if *expFlag != "" {
 		ids = strings.Split(*expFlag, ",")

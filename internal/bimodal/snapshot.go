@@ -1,0 +1,32 @@
+package bimodal
+
+import "repro/internal/checkpoint"
+
+// Snapshot writes the prediction and hysteresis arrays (the table's
+// only dynamic state; shape and the shared stats stay with the owner).
+func (t *Table) Snapshot(enc *checkpoint.Encoder) {
+	enc.U8s(t.pred)
+	enc.U8s(t.hyst)
+}
+
+// LoadSnapshot restores a Snapshot into a table of the same geometry.
+func (t *Table) LoadSnapshot(dec *checkpoint.Decoder) {
+	dec.U8sInto(t.pred)
+	dec.U8sInto(t.hyst)
+}
+
+// Snapshot implements predictor.Predictor.
+func (s *Standalone) Snapshot(enc *checkpoint.Encoder) {
+	enc.Begin("bimodal", 1)
+	s.t.Snapshot(enc)
+	s.t.stats.Snapshot(enc)
+	enc.End()
+}
+
+// Restore implements predictor.Predictor.
+func (s *Standalone) Restore(dec *checkpoint.Decoder) {
+	dec.Open("bimodal", 1)
+	s.t.LoadSnapshot(dec)
+	s.t.stats.LoadSnapshot(dec)
+	dec.Close()
+}

@@ -1,0 +1,36 @@
+package composed
+
+import "repro/internal/checkpoint"
+
+// Snapshot implements predictor.Predictor: a parent section delegating
+// one child section per configured component, in prediction-flow order.
+func (p *Predictor) Snapshot(enc *checkpoint.Encoder) {
+	enc.Begin("composed", 1)
+	p.tage.Snapshot(enc)
+	if p.loop != nil {
+		p.loop.Snapshot(enc)
+	}
+	if p.sc != nil {
+		p.sc.Snapshot(enc)
+	}
+	if p.lsc != nil {
+		p.lsc.Snapshot(enc)
+	}
+	enc.End()
+}
+
+// Restore implements predictor.Predictor.
+func (p *Predictor) Restore(dec *checkpoint.Decoder) {
+	dec.Open("composed", 1)
+	p.tage.Restore(dec)
+	if p.loop != nil {
+		p.loop.LoadSnapshot(dec)
+	}
+	if p.sc != nil {
+		p.sc.LoadSnapshot(dec)
+	}
+	if p.lsc != nil {
+		p.lsc.LoadSnapshot(dec)
+	}
+	dec.Close()
+}

@@ -42,6 +42,12 @@ type Config struct {
 	// — so the most expensive experiment survives interruption and can
 	// be re-rendered for free. Empty keeps the in-memory behaviour.
 	ResultStore string
+	// WarmCache additionally keeps a checkpoint blob cache next to the
+	// store (ResultStore + ".ckpt/"): cells warm-start from their cached
+	// predictor snapshots, so re-running a sweep skips simulation
+	// warm-up and an interrupted long cell resumes mid-trace. Requires
+	// ResultStore.
+	WarmCache bool
 }
 
 func (c Config) withDefaults() Config {
@@ -78,6 +84,9 @@ func (c Config) simOptions(sc predictor.Scenario) sim.Options {
 func runMatrix(m *harness.Matrix, cfg Config) (recs []harness.Record, notes []string, err error) {
 	hcfg := harness.Config{Parallelism: cfg.Parallelism, IntraCellWorkers: cfg.IntraCellWorkers}
 	if cfg.ResultStore == "" {
+		if cfg.WarmCache {
+			return nil, nil, fmt.Errorf("experiments: WarmCache caches checkpoints next to the result store; set ResultStore")
+		}
 		sum, err := harness.Run(m, hcfg, harness.Discard)
 		if err != nil {
 			return nil, nil, err
@@ -90,6 +99,9 @@ func runMatrix(m *harness.Matrix, cfg Config) (recs []harness.Record, notes []st
 	}
 	prov := harness.CurrentProvenance()
 	hcfg.Provenance = &prov
+	if cfg.WarmCache {
+		hcfg.WarmCache = harness.WarmCacheDir(cfg.ResultStore)
+	}
 	sum, err := harness.ResumeStoreFile(cfg.ResultStore, jobs, hcfg, func(plan *harness.ResumePlan) error {
 		if n := len(plan.ProvenanceDrift); n > 0 {
 			notes = append(notes, fmt.Sprintf(

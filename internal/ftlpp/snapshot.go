@@ -1,0 +1,33 @@
+package ftlpp
+
+import "repro/internal/checkpoint"
+
+// Snapshot implements predictor.Predictor: both GEHL engines, the
+// global and local histories, and the per-table folds. The two engines
+// share one stats object, written once.
+func (p *Predictor) Snapshot(enc *checkpoint.Encoder) {
+	enc.Begin("ftlpp", 1)
+	p.geng.Snapshot(enc)
+	p.leng.Snapshot(enc)
+	p.ghist.Snapshot(enc)
+	for i := range p.folded {
+		p.folded[i].Snapshot(enc)
+	}
+	p.lht.Snapshot(enc)
+	p.geng.Stats().Snapshot(enc)
+	enc.End()
+}
+
+// Restore implements predictor.Predictor.
+func (p *Predictor) Restore(dec *checkpoint.Decoder) {
+	dec.Open("ftlpp", 1)
+	p.geng.LoadSnapshot(dec)
+	p.leng.LoadSnapshot(dec)
+	p.ghist.LoadSnapshot(dec)
+	for i := range p.folded {
+		p.folded[i].LoadSnapshot(dec)
+	}
+	p.lht.LoadSnapshot(dec)
+	p.geng.Stats().LoadSnapshot(dec)
+	dec.Close()
+}

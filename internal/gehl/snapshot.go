@@ -1,0 +1,51 @@
+package gehl
+
+import "repro/internal/checkpoint"
+
+// Snapshot writes the engine's counter tables and adaptive-threshold
+// state (the shared stats object belongs to the owning predictor).
+func (e *Engine) Snapshot(enc *checkpoint.Encoder) {
+	enc.U32(uint32(len(e.tables)))
+	for _, t := range e.tables {
+		enc.I8s(t)
+	}
+	enc.I32(e.theta)
+	enc.I32(e.tc)
+}
+
+// LoadSnapshot restores a Snapshot into an engine of the same shape.
+func (e *Engine) LoadSnapshot(dec *checkpoint.Decoder) {
+	n := int(dec.U32())
+	if dec.Err() != nil {
+		return
+	}
+	if n != len(e.tables) {
+		dec.Failf("gehl engine holds %d tables, this configuration needs %d", n, len(e.tables))
+		return
+	}
+	for _, t := range e.tables {
+		dec.I8sInto(t)
+	}
+	e.theta = dec.I32()
+	e.tc = dec.I32()
+}
+
+// Snapshot implements predictor.Predictor.
+func (p *Predictor) Snapshot(enc *checkpoint.Encoder) {
+	enc.Begin("gehl", 1)
+	p.eng.Snapshot(enc)
+	p.ghist.Snapshot(enc)
+	p.folds.Snapshot(enc)
+	p.eng.Stats().Snapshot(enc)
+	enc.End()
+}
+
+// Restore implements predictor.Predictor.
+func (p *Predictor) Restore(dec *checkpoint.Decoder) {
+	dec.Open("gehl", 1)
+	p.eng.LoadSnapshot(dec)
+	p.ghist.LoadSnapshot(dec)
+	p.folds.LoadSnapshot(dec)
+	p.eng.Stats().LoadSnapshot(dec)
+	dec.Close()
+}

@@ -1,0 +1,21 @@
+package gshare
+
+import "repro/internal/checkpoint"
+
+// Snapshot implements predictor.Predictor.
+func (p *Predictor) Snapshot(enc *checkpoint.Encoder) {
+	enc.Begin("gshare", 1)
+	enc.U8s(p.table)
+	enc.U32(p.ghr)
+	p.stats.Snapshot(enc)
+	enc.End()
+}
+
+// Restore implements predictor.Predictor.
+func (p *Predictor) Restore(dec *checkpoint.Decoder) {
+	dec.Open("gshare", 1)
+	dec.U8sInto(p.table)
+	p.ghr = dec.U32()
+	p.stats.LoadSnapshot(dec)
+	dec.Close()
+}

@@ -2,25 +2,26 @@
 
 package harness
 
-import (
-	"fmt"
-	"os"
-)
+import "os"
 
 // lockStore is the portable fallback for platforms without flock: an
-// O_EXCL sidecar lockfile next to the store. It serialises concurrent
-// resumes the same way, but unlike the flock path a killed process
-// leaves the lockfile behind — the error says which file to remove.
+// O_EXCL sidecar lockfile next to the store (see acquireSidecarLock,
+// which also reclaims stale locks left by crashed writers).
 func lockStore(f *os.File, path string) (unlock func(), err error) {
-	lockPath := path + ".lock"
-	lf, err := os.OpenFile(lockPath, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	return acquireSidecarLock(path)
+}
+
+// pidAlive probes liveness without signalling anything. On Windows,
+// os.FindProcess opens a handle and fails for a PID that is gone —
+// exactly the answer needed. On platforms where FindProcess always
+// succeeds this reports every PID alive, degrading to the old
+// refuse-fast behaviour (never reclaiming) rather than ever
+// reclaiming a lock whose owner might still run.
+func pidAlive(pid int) bool {
+	proc, err := os.FindProcess(pid)
 	if err != nil {
-		if os.IsExist(err) {
-			return nil, fmt.Errorf("harness: store %s is locked by another process (a concurrent resume is appending to it); wait for it to finish, or remove %s if its writer is gone", path, lockPath)
-		}
-		return nil, fmt.Errorf("harness: locking store %s: %w", path, err)
+		return false
 	}
-	fmt.Fprintf(lf, "%d\n", os.Getpid())
-	lf.Close()
-	return func() { os.Remove(lockPath) }, nil
+	proc.Release()
+	return true
 }

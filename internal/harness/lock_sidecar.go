@@ -1,0 +1,55 @@
+package harness
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// acquireSidecarLock serialises store writers with an O_EXCL lockfile
+// next to the store, used on platforms without flock. Unlike flock, a
+// killed process leaves the sidecar behind — so on contention the
+// owner PID recorded in the file is read back: when that process is
+// gone the stale lock is reclaimed automatically (remove and retry
+// once); when it is alive — or the file is unreadable, so ownership
+// cannot be established — the caller refuses fast as before.
+func acquireSidecarLock(path string) (unlock func(), err error) {
+	lockPath := path + ".lock"
+	for attempt := 0; ; attempt++ {
+		lf, err := os.OpenFile(lockPath, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+		if err == nil {
+			fmt.Fprintf(lf, "%d\n", os.Getpid())
+			lf.Close()
+			return func() { os.Remove(lockPath) }, nil
+		}
+		if !os.IsExist(err) {
+			return nil, fmt.Errorf("harness: locking store %s: %w", path, err)
+		}
+		if attempt == 0 && sidecarOwnerDead(lockPath) {
+			// Stale lock from a crashed writer: reclaim it. The remove
+			// can race another reclaimer; the retry's O_EXCL decides who
+			// actually got the lock.
+			os.Remove(lockPath)
+			continue
+		}
+		return nil, fmt.Errorf("harness: store %s is locked by another process (a concurrent resume is appending to it); wait for it to finish, or remove %s if its writer is gone", path, lockPath)
+	}
+}
+
+// sidecarOwnerDead reports whether the lockfile names a PID that is
+// definitely no longer running. Any doubt — unreadable file, no
+// parseable PID, a liveness probe that cannot say — counts as alive:
+// wrongly reclaiming a held lock corrupts a store, wrongly refusing
+// only costs a manual remove.
+func sidecarOwnerDead(lockPath string) bool {
+	data, err := os.ReadFile(lockPath)
+	if err != nil {
+		return false
+	}
+	pid, err := strconv.Atoi(strings.TrimSpace(string(data)))
+	if err != nil || pid <= 0 {
+		return false
+	}
+	return !pidAlive(pid)
+}

@@ -1,0 +1,100 @@
+package harness
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// deadPID returns a PID that is guaranteed to have exited: a just-reaped
+// child. (The kernel could in principle recycle it, but not between
+// Wait and the assertion a few microseconds later.)
+func deadPID(t *testing.T) int {
+	t.Helper()
+	cmd := exec.Command("true")
+	if err := cmd.Start(); err != nil {
+		// No /bin/true (minimal environments): fall back to re-execing
+		// the test binary with a flag that exits immediately.
+		cmd = exec.Command(os.Args[0], "-test.run", "TestNothingMatchesThisName")
+		if err := cmd.Start(); err != nil {
+			t.Skipf("cannot spawn a child process: %v", err)
+		}
+	}
+	pid := cmd.Process.Pid
+	cmd.Wait()
+	return pid
+}
+
+// TestSidecarLockReclaimsDeadOwner fabricates the crash residue the
+// O_EXCL lock path can leave behind — a .lock sidecar naming a PID that
+// no longer exists — and asserts the next writer reclaims it instead of
+// refusing.
+func TestSidecarLockReclaimsDeadOwner(t *testing.T) {
+	store := filepath.Join(t.TempDir(), "store.jsonl")
+	lockPath := store + ".lock"
+	if err := os.WriteFile(lockPath, []byte(fmt.Sprintf("%d\n", deadPID(t))), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	unlock, err := acquireSidecarLock(store)
+	if err != nil {
+		t.Fatalf("stale dead-PID lock was not reclaimed: %v", err)
+	}
+	data, err := os.ReadFile(lockPath)
+	if err != nil {
+		t.Fatalf("reclaimed lockfile missing: %v", err)
+	}
+	if got := strings.TrimSpace(string(data)); got != fmt.Sprint(os.Getpid()) {
+		t.Fatalf("reclaimed lockfile names PID %s, want ours %d", got, os.Getpid())
+	}
+	unlock()
+	if _, err := os.Stat(lockPath); !os.IsNotExist(err) {
+		t.Fatalf("unlock left the lockfile behind: %v", err)
+	}
+}
+
+// TestSidecarLockRefusesLiveOwner keeps the refuse-fast contract: a
+// lockfile naming a live process (this test) is never reclaimed.
+func TestSidecarLockRefusesLiveOwner(t *testing.T) {
+	store := filepath.Join(t.TempDir(), "store.jsonl")
+	if err := os.WriteFile(store+".lock", []byte(fmt.Sprintf("%d\n", os.Getpid())), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := acquireSidecarLock(store); err == nil {
+		t.Fatal("lock held by a live process was reclaimed")
+	} else if !strings.Contains(err.Error(), "locked by another process") {
+		t.Fatalf("unexpected refusal message: %v", err)
+	}
+}
+
+// TestSidecarLockRefusesUnreadableOwner: a lockfile whose owner cannot
+// be established is treated as held — doubt never reclaims.
+func TestSidecarLockRefusesUnreadableOwner(t *testing.T) {
+	store := filepath.Join(t.TempDir(), "store.jsonl")
+	if err := os.WriteFile(store+".lock", []byte("not a pid\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := acquireSidecarLock(store); err == nil {
+		t.Fatal("lock with unparseable owner was reclaimed")
+	}
+}
+
+// TestSidecarLockFreshAcquire covers the uncontended path.
+func TestSidecarLockFreshAcquire(t *testing.T) {
+	store := filepath.Join(t.TempDir(), "store.jsonl")
+	unlock, err := acquireSidecarLock(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := acquireSidecarLock(store); err == nil {
+		t.Fatal("second acquire succeeded while lock held")
+	}
+	unlock()
+	unlock2, err := acquireSidecarLock(store)
+	if err != nil {
+		t.Fatalf("re-acquire after unlock: %v", err)
+	}
+	unlock2()
+}

@@ -24,3 +24,16 @@ func lockStore(f *os.File, path string) (unlock func(), err error) {
 	}
 	return func() { syscall.Flock(int(f.Fd()), syscall.LOCK_UN) }, nil
 }
+
+// pidAlive probes a PID with the null signal: kill(pid, 0) delivers
+// nothing but performs the existence and permission checks. ESRCH
+// means the process is gone; EPERM means it exists but belongs to
+// someone else (alive); anything unexpected counts as alive so a lock
+// is never reclaimed on an ambiguous answer.
+func pidAlive(pid int) bool {
+	err := syscall.Kill(pid, 0)
+	if err == nil {
+		return true
+	}
+	return !errors.Is(err, syscall.ESRCH)
+}

@@ -34,6 +34,13 @@ const (
 	// one (the first cell of each model on each worker or shard).
 	MetricPredictorPoolHits   = "bpbench_predictor_pool_hits_total"
 	MetricPredictorPoolMisses = "bpbench_predictor_pool_misses_total"
+	// MetricWarmCacheHits / Misses count checkpoint-cache outcomes when
+	// Config.WarmCache is set: a hit is a cell that actually warm-started
+	// from a cached blob (skipping its simulated prefix), a miss is a
+	// cold start — no blob, or one the simulator refused and fell back
+	// from.
+	MetricWarmCacheHits   = "bpbench_warm_cache_hits_total"
+	MetricWarmCacheMisses = "bpbench_warm_cache_misses_total"
 	// MetricCellsTotal / MetricCellsDone gauge sweep progress: cells in
 	// the expanded grid and cells completed (reused cells count as done
 	// immediately). Gauges, not counters, so sequential matrices on one
@@ -69,6 +76,8 @@ type runMetrics struct {
 	cacheMisses *metrics.Counter
 	poolHits    *metrics.Counter
 	poolMisses  *metrics.Counter
+	warmHits    *metrics.Counter
+	warmMisses  *metrics.Counter
 	cellsTotal  *metrics.Gauge
 	cellsDone   *metrics.Gauge
 	records     *metrics.CounterVec
@@ -90,6 +99,8 @@ func newRunMetrics(reg *metrics.Registry) *runMetrics {
 		cacheMisses: reg.Counter(MetricTraceCacheMisses, "Trace-cache lookups that generated the trace."),
 		poolHits:    reg.Counter(MetricPredictorPoolHits, "Predictor-pool lookups served by a warmed instance (Reset reuse)."),
 		poolMisses:  reg.Counter(MetricPredictorPoolMisses, "Predictor-pool lookups that constructed a predictor."),
+		warmHits:    reg.Counter(MetricWarmCacheHits, "Cells warm-started from a cached checkpoint blob."),
+		warmMisses:  reg.Counter(MetricWarmCacheMisses, "Cells cold-started: no cached blob, or an unusable one."),
 		cellsTotal:  reg.Gauge(MetricCellsTotal, "Cells in the expanded sweep grid."),
 		cellsDone:   reg.Gauge(MetricCellsDone, "Cells completed (reused cells count immediately)."),
 		records:     reg.CounterVec(MetricRecordsEmitted, "Records streamed to sinks, by kind.", "kind"),

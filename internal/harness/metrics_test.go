@@ -5,6 +5,7 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/metrics"
 	"repro/internal/predictor"
@@ -262,5 +263,52 @@ func TestStartProgressRendersFromRegistry(t *testing.T) {
 	}
 	if !strings.Contains(final, "elapsed ") || !strings.Contains(final, "branches") {
 		t.Fatalf("rate/elapsed missing from %q", final)
+	}
+}
+
+// TestProgressStallIndicator: a run that stops completing cells must
+// stop quoting a finite ETA. Before the stall logic, render fell back
+// to the *cumulative* rate whenever a window saw no progress, so a
+// wedged run reported a confident, shrinking-never ETA forever.
+func TestProgressStallIndicator(t *testing.T) {
+	reg := metrics.NewRegistry()
+	reg.Gauge(MetricCellsTotal, "t").Set(10)
+	done := reg.Gauge(MetricCellsDone, "d")
+	done.Set(4)
+
+	p := &progressReporter{start: time.Now().Add(-10 * time.Second)}
+	var sb strings.Builder
+	render := func() string {
+		sb.Reset()
+		p.render(&sb, reg.Snapshot())
+		return sb.String()
+	}
+
+	// First tick: cumulative-rate ETA, finite.
+	if out := render(); !strings.Contains(out, "ETA") || strings.Contains(out, "stalled") {
+		t.Fatalf("first tick: %q", out)
+	}
+	// Windows with no progress below the threshold: still an ETA.
+	for i := 1; i < stallWindows; i++ {
+		if out := render(); strings.Contains(out, "stalled") {
+			t.Fatalf("stall flagged after only %d empty windows: %q", i, out)
+		}
+	}
+	// Threshold reached: the line says stalled instead of a finite ETA.
+	out := render()
+	if !strings.Contains(out, "ETA stalled (no progress") {
+		t.Fatalf("after %d empty windows, want stall indicator, got %q", stallWindows, out)
+	}
+	if strings.Contains(out, "ETA 2") || strings.Contains(out, "ETA 1") {
+		t.Fatalf("stalled line still quotes a numeric ETA: %q", out)
+	}
+	// Progress resumes: the ETA comes back and the counter resets.
+	done.Set(5)
+	if out := render(); strings.Contains(out, "stalled") {
+		t.Fatalf("stall indicator survived resumed progress: %q", out)
+	}
+	done.Set(10)
+	if out := render(); !strings.Contains(out, "ETA done") {
+		t.Fatalf("completed run: %q", out)
 	}
 }

@@ -52,11 +52,18 @@ func StartProgress(w io.Writer, reg *metrics.Registry, interval time.Duration) (
 	}
 }
 
+// stallWindows is how many consecutive no-progress report windows make
+// the reporter stop quoting an ETA: once nothing has completed for this
+// long, any rate extrapolated from the past is a guess, and a
+// confidently finite ETA on a wedged run is worse than saying so.
+const stallWindows = 3
+
 type progressReporter struct {
 	start    time.Time
 	prevSet  bool
 	prevDone float64
 	prevAt   time.Time
+	stalled  int
 }
 
 func (p *progressReporter) render(w io.Writer, s metrics.Snapshot) {
@@ -77,12 +84,21 @@ func (p *progressReporter) render(w io.Writer, s metrics.Snapshot) {
 	} else if el := now.Sub(p.start).Seconds(); el > 0 && done > 0 {
 		rate = done / el
 	}
+	if p.prevSet && done <= p.prevDone {
+		p.stalled++
+	} else {
+		p.stalled = 0
+	}
 	p.prevSet, p.prevDone, p.prevAt = true, done, now
 
 	eta := "-"
 	switch {
 	case total > 0 && done >= total:
 		eta = "done"
+	case p.stalled >= stallWindows && done < total:
+		// The cumulative rate above is still finite, but it describes a
+		// run that has stopped moving: surface the stall, not an ETA.
+		eta = fmt.Sprintf("stalled (no progress for %d reports)", p.stalled)
 	case rate > 0:
 		eta = formatETA((total - done) / rate)
 	}

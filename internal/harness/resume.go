@@ -1,9 +1,11 @@
 package harness
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/sim"
@@ -29,22 +31,33 @@ import (
 // rejected with a clear error (never silently dropped — it is real data
 // from a newer binary, not a crash tail), and records from older schemas
 // are upgraded to the current shape (see migrateRecord).
+//
+// The store is read as a stream, one line in memory at a time, so a
+// multi-gigabyte store costs its record slice and nothing more — the
+// byte accounting (and therefore where a crash tail starts) is
+// identical to what reading the whole file at once would compute.
 func ReadStoreFile(path string) (recs []Record, validLen int64, err error) {
-	data, err := os.ReadFile(path)
+	f, err := os.Open(path)
 	if err != nil {
 		return nil, 0, err
 	}
-	for int(validLen) < len(data) {
-		rest := data[validLen:]
-		nl := bytes.IndexByte(rest, '\n')
-		if nl < 0 {
-			break // unterminated tail: crash mid-write
+	defer f.Close()
+	br := bufio.NewReaderSize(f, 64*1024)
+	for {
+		line, readErr := br.ReadBytes('\n')
+		if readErr == io.EOF {
+			// Whatever ReadBytes accumulated has no terminator: an
+			// unterminated tail from a crash mid-write, dropped.
+			break
 		}
-		line := rest[:nl]
-		if len(bytes.TrimSpace(line)) > 0 {
+		if readErr != nil {
+			return nil, 0, fmt.Errorf("%s: reading store: %w", path, readErr)
+		}
+		content := line[:len(line)-1]
+		if len(bytes.TrimSpace(content)) > 0 {
 			var r Record
-			if jsonErr := json.Unmarshal(line, &r); jsonErr != nil {
-				if len(bytes.TrimSpace(rest[nl+1:])) > 0 {
+			if jsonErr := json.Unmarshal(content, &r); jsonErr != nil {
+				if tailHasData(br) {
 					return nil, 0, fmt.Errorf("%s: store corrupt at byte %d (not a crash tail: more records follow): %w", path, validLen, jsonErr)
 				}
 				break // bad final line: crash tail
@@ -54,9 +67,26 @@ func ReadStoreFile(path string) (recs []Record, validLen int64, err error) {
 			}
 			recs = append(recs, r)
 		}
-		validLen += int64(nl + 1)
+		validLen += int64(len(line))
 	}
 	return recs, validLen, nil
+}
+
+// tailHasData reports whether anything non-whitespace remains in the
+// stream — the test that distinguishes a crash tail (garbage last
+// line, nothing after) from mid-store corruption. Scans in fixed-size
+// chunks; never buffers the remainder.
+func tailHasData(br *bufio.Reader) bool {
+	var buf [32 * 1024]byte
+	for {
+		n, err := br.Read(buf[:])
+		if len(bytes.TrimSpace(buf[:n])) > 0 {
+			return true
+		}
+		if err != nil {
+			return false
+		}
+	}
 }
 
 // migrateRecord upgrades a stored record to the current schema, or

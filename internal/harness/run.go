@@ -54,6 +54,32 @@ type Config struct {
 	// Zero or one disables intra-cell parallelism. Run seeds it from
 	// Matrix.IntraCellWorkers when unset here.
 	IntraCellWorkers int
+	// WarmCache, when non-empty, names a checkpoint blob directory
+	// (conventionally WarmCacheDir(storePath), i.e. "store.jsonl.ckpt/").
+	// Each cell then warm-starts from its cached predictor+pipeline
+	// snapshot when one matches — skipping the already-simulated prefix —
+	// and saves checkpoints (periodic plus end-of-trace) as it runs, so a
+	// repeated sweep skips warm-up entirely and an interrupted long cell
+	// resumes mid-trace on the next run. Results are byte-identical to a
+	// cold run modulo wall-clock telemetry; any unusable blob silently
+	// falls back to a cold start (the cache is never a correctness
+	// dependency). Empty disables checkpointing.
+	WarmCache string
+	// CheckpointEvery is the periodic checkpoint interval in branches
+	// when WarmCache is set (zero selects DefaultCheckpointEvery).
+	CheckpointEvery uint64
+}
+
+// DefaultCheckpointEvery is the periodic checkpoint interval (in
+// branches) used when Config.WarmCache is set without an explicit
+// Config.CheckpointEvery.
+const DefaultCheckpointEvery = 1_000_000
+
+func (c Config) checkpointEvery() uint64 {
+	if c.CheckpointEvery > 0 {
+		return c.CheckpointEvery
+	}
+	return DefaultCheckpointEvery
 }
 
 func (c Config) workers() int {
@@ -210,6 +236,7 @@ func executeJobs(jobs []Job, cfg Config, rm *runMetrics, visit func(Record)) []R
 		cache.hits, cache.misses = rm.cacheHits, rm.cacheMisses
 		rm.poolStart = time.Now()
 	}
+	wc := newWarmCache(cfg.WarmCache, rm)
 	results := make([]Record, len(jobs))
 	done := make([]chan struct{}, len(jobs))
 	for i := range done {
@@ -241,7 +268,24 @@ func executeJobs(jobs []Job, cfg Config, rm *runMetrics, visit func(Record)) []R
 			} else {
 				tr = cache.get(j.Spec, j.Branches)
 			}
-			res = cellRecord(j, run(tr, j.Opts))
+			if wc != nil {
+				key := wc.key(j, tr)
+				j.Opts.Resume = wc.load(key)
+				j.Opts.CheckpointEvery = cfg.checkpointEvery()
+				j.Opts.OnCheckpoint = func(blob []byte, at uint64) { wc.save(key, blob, at) }
+			}
+			r := run(tr, j.Opts)
+			if wc != nil {
+				// A hit is a warm start that actually took: a blob the sim
+				// refused (stale geometry, mismatched pipeline) cold-starts
+				// and counts as a miss, so the hit metric certifies reuse.
+				if j.Opts.Resume != nil && r.ResumeErr == nil {
+					wc.hits.Inc()
+				} else {
+					wc.misses.Inc()
+				}
+			}
+			res = cellRecord(j, r)
 		})
 		if err != nil {
 			res = failedRecord(j, err)

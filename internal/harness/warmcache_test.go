@@ -1,0 +1,147 @@
+package harness
+
+import (
+	"os"
+	"testing"
+
+	"repro/internal/gshare"
+	"repro/internal/metrics"
+	"repro/internal/predictor"
+	"repro/internal/sim"
+	"repro/internal/tage"
+	"repro/internal/trace"
+)
+
+func clearRecTiming(recs []Record) {
+	for i := range recs {
+		recs[i].ElapsedSec = 0
+		recs[i].BranchesPerSec = 0
+	}
+}
+
+// TestWarmCacheByteIdentical is the repeated-sweep contract: a matrix
+// run with a warm cache produces records identical (modulo wall-clock
+// telemetry) whether the cache is empty (cold pass, all misses) or
+// populated by the previous pass (warm pass, all hits skipping every
+// cell's already-simulated prefix).
+func TestWarmCacheByteIdentical(t *testing.T) {
+	models := []Model{
+		{Name: "gshare12", Spec: "gshare:12", Run: func(tr *trace.Trace, opt sim.Options) sim.Result {
+			return sim.RunTrace(gshare.New(12), tr, opt)
+		}},
+		{Name: "tage", Spec: "tage:ref", Run: func(tr *trace.Trace, opt sim.Options) sim.Result {
+			return sim.RunTrace(tage.New(tage.Reference()), tr, opt)
+		}},
+	}
+	m := testMatrix(t, models, []string{"INT01", "MM05"},
+		[]predictor.Scenario{predictor.ScenarioA, predictor.ScenarioC}, []int{5000})
+	dir := WarmCacheDir(t.TempDir() + "/store.jsonl")
+
+	pass := func() ([]Record, metrics.Snapshot) {
+		reg := metrics.NewRegistry()
+		sink := &collectSink{}
+		cfg := Config{Parallelism: 2, WarmCache: dir, CheckpointEvery: 1500, Metrics: reg}
+		if _, err := Run(m, cfg, sink); err != nil {
+			t.Fatal(err)
+		}
+		clearRecTiming(sink.recs)
+		return sink.recs, reg.Snapshot()
+	}
+
+	cold, coldSnap := pass()
+	if hits, _ := coldSnap.Sample(MetricWarmCacheHits); hits.Value != 0 {
+		t.Fatalf("cold pass reported %v warm hits, want 0", hits.Value)
+	}
+	if misses, _ := coldSnap.Sample(MetricWarmCacheMisses); misses.Value != 8 {
+		t.Fatalf("cold pass reported %v warm misses, want 8 (every cell)", misses.Value)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil || len(ents) == 0 {
+		t.Fatalf("blob cache dir after cold pass: entries=%d err=%v", len(ents), err)
+	}
+
+	warm, warmSnap := pass()
+	if hits, _ := warmSnap.Sample(MetricWarmCacheHits); hits.Value != 8 {
+		t.Fatalf("warm pass reported %v warm hits, want 8 (every cell)", hits.Value)
+	}
+	if len(warm) != len(cold) {
+		t.Fatalf("warm pass emitted %d records, cold %d", len(warm), len(cold))
+	}
+	for i := range cold {
+		if warm[i] != cold[i] {
+			t.Errorf("record %d diverges:\n  cold: %+v\n  warm: %+v", i, cold[i], warm[i])
+		}
+	}
+}
+
+// TestWarmCacheResumesInterruptedCell is the interrupted-cell contract:
+// a cell killed mid-trace leaves its latest periodic checkpoint in the
+// cache, and the re-run resumes from it — demonstrably mid-trace, not
+// branch 0 — while producing the exact cold-run record.
+func TestWarmCacheResumesInterruptedCell(t *testing.T) {
+	mkModel := func(interrupt bool, resumedAt *uint64) Model {
+		return Model{Name: "tage", Spec: "tage:ref", Run: func(tr *trace.Trace, opt sim.Options) sim.Result {
+			if interrupt {
+				// Die right after the first periodic checkpoint lands on
+				// disk, like a process killed mid-cell.
+				inner := opt.OnCheckpoint
+				opt.OnCheckpoint = func(blob []byte, at uint64) {
+					inner(blob, at)
+					panic("interrupted mid-trace")
+				}
+			}
+			res := sim.RunTrace(tage.New(tage.Reference()), tr, opt)
+			if resumedAt != nil {
+				*resumedAt = res.ResumedAt
+			}
+			return res
+		}}
+	}
+	scs := []predictor.Scenario{predictor.ScenarioA}
+	lengths := []int{8000}
+	dir := WarmCacheDir(t.TempDir() + "/store.jsonl")
+	cfg := Config{Parallelism: 1, WarmCache: dir, CheckpointEvery: 3000}
+
+	// Reference: uninterrupted cold run without any cache.
+	refSink := &collectSink{}
+	if _, err := Run(testMatrix(t, []Model{mkModel(false, nil)}, []string{"INT01"}, scs, lengths),
+		Config{Parallelism: 1}, refSink); err != nil {
+		t.Fatal(err)
+	}
+
+	// Interrupted run: the cell fails, but its checkpoint survived.
+	intSink := &collectSink{}
+	sum, err := Run(testMatrix(t, []Model{mkModel(true, nil)}, []string{"INT01"}, scs, lengths), cfg, intSink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Failed != 1 {
+		t.Fatalf("interrupted run failed %d cells, want 1", sum.Failed)
+	}
+
+	// Re-run: must warm-start from the interrupted cell's checkpoint.
+	var resumedAt uint64
+	reSink := &collectSink{}
+	reg := metrics.NewRegistry()
+	cfg.Metrics = reg
+	if _, err := Run(testMatrix(t, []Model{mkModel(false, &resumedAt)}, []string{"INT01"}, scs, lengths), cfg, reSink); err != nil {
+		t.Fatal(err)
+	}
+	if resumedAt == 0 {
+		t.Fatal("re-run started from branch 0; want resume from the interrupted cell's checkpoint")
+	}
+	if hits, _ := reg.Snapshot().Sample(MetricWarmCacheHits); hits.Value != 1 {
+		t.Fatalf("re-run warm hits = %v, want 1", hits.Value)
+	}
+	clearRecTiming(refSink.recs)
+	clearRecTiming(reSink.recs)
+	if len(reSink.recs) != len(refSink.recs) {
+		t.Fatalf("re-run emitted %d records, reference %d", len(reSink.recs), len(refSink.recs))
+	}
+	for i := range refSink.recs {
+		if reSink.recs[i] != refSink.recs[i] {
+			t.Errorf("record %d diverges from uninterrupted run:\n  resumed: %+v\n  cold:    %+v",
+				i, reSink.recs[i], refSink.recs[i])
+		}
+	}
+}

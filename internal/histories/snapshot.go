@@ -1,0 +1,84 @@
+package histories
+
+import "repro/internal/checkpoint"
+
+// Snapshot/LoadSnapshot serialize the dynamic state of each history
+// structure for predictor checkpoints. Shape parameters (lengths,
+// widths, masks) are owned by the configuration that built the
+// structure, so only the mutable run state is stored; LoadSnapshot
+// validates stored sizes against the receiver's configuration through
+// the decoder's *Into length checks.
+
+// Snapshot writes the global history ring: buffer contents, head
+// cursor, and total outcomes pushed.
+func (g *Global) Snapshot(enc *checkpoint.Encoder) {
+	enc.Begin("ghist", 1)
+	enc.U8s(g.buf)
+	enc.Int(g.head)
+	enc.U64(g.n)
+	enc.End()
+}
+
+// LoadSnapshot restores a Snapshot into a Global of the same
+// configured capacity.
+func (g *Global) LoadSnapshot(dec *checkpoint.Decoder) {
+	dec.Open("ghist", 1)
+	dec.U8sInto(g.buf)
+	head := dec.Int()
+	n := dec.U64()
+	dec.Close()
+	if dec.Err() != nil {
+		return
+	}
+	if head < 0 || head > g.mask {
+		dec.Failf("global history head %d out of range [0,%d]", head, g.mask)
+		return
+	}
+	g.head = head
+	g.n = n
+}
+
+// Snapshot writes a folded register's current compressed value.
+func (f *Folded) Snapshot(enc *checkpoint.Encoder) { enc.U32(f.comp) }
+
+// LoadSnapshot restores a folded register's compressed value.
+func (f *Folded) LoadSnapshot(dec *checkpoint.Decoder) { f.comp = dec.U32() }
+
+// Snapshot writes all three folds of a table.
+func (t *TableFolds) Snapshot(enc *checkpoint.Encoder) {
+	t.Idx.Snapshot(enc)
+	t.Tag1.Snapshot(enc)
+	t.Tag2.Snapshot(enc)
+}
+
+// LoadSnapshot restores all three folds of a table.
+func (t *TableFolds) LoadSnapshot(dec *checkpoint.Decoder) {
+	t.Idx.LoadSnapshot(dec)
+	t.Tag1.LoadSnapshot(dec)
+	t.Tag2.LoadSnapshot(dec)
+}
+
+// Snapshot writes the path history register.
+func (p *Path) Snapshot(enc *checkpoint.Encoder) { enc.U32(p.v) }
+
+// LoadSnapshot restores the path history register.
+func (p *Path) LoadSnapshot(dec *checkpoint.Decoder) { p.v = dec.U32() }
+
+// Snapshot writes the per-PC local history table.
+func (l *Local) Snapshot(enc *checkpoint.Encoder) { enc.U32s(l.entries) }
+
+// LoadSnapshot restores a local history table of the same size.
+func (l *Local) LoadSnapshot(dec *checkpoint.Decoder) { dec.U32sInto(l.entries) }
+
+// Snapshot writes the packed fold words plus the unpacked value mirror.
+func (p *PackedFolds) Snapshot(enc *checkpoint.Encoder) {
+	enc.U64s(p.words)
+	enc.U32s(p.vals)
+}
+
+// LoadSnapshot restores packed folds of the same layout (same word and
+// fold counts; the layout is a pure function of the built fold set).
+func (p *PackedFolds) LoadSnapshot(dec *checkpoint.Decoder) {
+	dec.U64sInto(p.words)
+	dec.U32sInto(p.vals)
+}

@@ -1,0 +1,63 @@
+package ium
+
+import "repro/internal/checkpoint"
+
+// Snapshot writes the buffer's dynamic state: every ring slot (the
+// circular layout is preserved verbatim), the head/count cursors, the
+// fetch sequence, and the hit accounting. Capacity and execDelay are
+// construction parameters and stay with the configuration.
+func (b *Buffer) Snapshot(enc *checkpoint.Encoder) {
+	enc.Begin("ium", 1)
+	enc.U32(uint32(len(b.ring)))
+	for i := range b.ring {
+		e := &b.ring[i]
+		enc.Int(e.Table)
+		enc.U32(e.Index)
+		enc.I32(e.Ctr)
+		enc.U64(e.seq)
+		enc.Bool(e.forced)
+	}
+	enc.Int(b.head)
+	enc.Int(b.count)
+	enc.U64(b.seq)
+	enc.U64(b.Lookups)
+	enc.U64(b.Hits)
+	enc.End()
+}
+
+// LoadSnapshot restores a Snapshot into a buffer of the same capacity,
+// validating the cursors against that capacity.
+func (b *Buffer) LoadSnapshot(dec *checkpoint.Decoder) {
+	dec.Open("ium", 1)
+	n := int(dec.U32())
+	if dec.Err() != nil {
+		return
+	}
+	if n != len(b.ring) {
+		dec.Failf("ium ring holds %d slots, this configuration needs %d", n, len(b.ring))
+		return
+	}
+	for i := range b.ring {
+		e := &b.ring[i]
+		e.Table = dec.Int()
+		e.Index = dec.U32()
+		e.Ctr = dec.I32()
+		e.seq = dec.U64()
+		e.forced = dec.Bool()
+	}
+	head := dec.Int()
+	count := dec.Int()
+	seq := dec.U64()
+	lookups := dec.U64()
+	hits := dec.U64()
+	dec.Close()
+	if dec.Err() != nil {
+		return
+	}
+	if head < 0 || head >= len(b.ring) || count < 0 || count > len(b.ring) {
+		dec.Failf("ium cursors (head %d, count %d) out of range for %d slots", head, count, len(b.ring))
+		return
+	}
+	b.head, b.count, b.seq = head, count, seq
+	b.Lookups, b.Hits = lookups, hits
+}

@@ -1,0 +1,86 @@
+package looppred
+
+import "repro/internal/checkpoint"
+
+// Snapshot writes the loop table, the in-flight SLIM ring, and the
+// override accounting (the shared stats object belongs to the owner).
+func (p *Predictor) Snapshot(enc *checkpoint.Encoder) {
+	enc.Begin("loop", 1)
+	enc.U32(uint32(len(p.sets)))
+	enc.U32(uint32(p.cfg.Ways))
+	for _, set := range p.sets {
+		for i := range set {
+			e := &set[i]
+			enc.U16(e.tag)
+			enc.U16(e.past)
+			enc.U16(e.current)
+			enc.U8(e.conf)
+			enc.U8(e.age)
+			enc.Bool(e.dir)
+			enc.Bool(e.valid)
+		}
+	}
+	enc.U32(uint32(len(p.slim)))
+	for i := range p.slim {
+		enc.U32(p.slim[i].key)
+		enc.U16(p.slim[i].iter)
+	}
+	enc.Int(p.slimHead)
+	enc.Int(p.slimLen)
+	enc.U64(p.Overrides)
+	enc.U64(p.Useful)
+	enc.End()
+}
+
+// LoadSnapshot restores a Snapshot into a predictor of the same
+// geometry, validating the SLIM cursors against its capacity.
+func (p *Predictor) LoadSnapshot(dec *checkpoint.Decoder) {
+	dec.Open("loop", 1)
+	nsets := int(dec.U32())
+	ways := int(dec.U32())
+	if dec.Err() != nil {
+		return
+	}
+	if nsets != len(p.sets) || ways != p.cfg.Ways {
+		dec.Failf("loop table is %dx%d, this configuration needs %dx%d", nsets, ways, len(p.sets), p.cfg.Ways)
+		return
+	}
+	for _, set := range p.sets {
+		for i := range set {
+			e := &set[i]
+			e.tag = dec.U16()
+			e.past = dec.U16()
+			e.current = dec.U16()
+			e.conf = dec.U8()
+			e.age = dec.U8()
+			e.dir = dec.Bool()
+			e.valid = dec.Bool()
+		}
+	}
+	cap := int(dec.U32())
+	if dec.Err() != nil {
+		return
+	}
+	if cap != len(p.slim) {
+		dec.Failf("slim ring holds %d slots, this configuration needs %d", cap, len(p.slim))
+		return
+	}
+	for i := range p.slim {
+		p.slim[i].key = dec.U32()
+		p.slim[i].iter = dec.U16()
+	}
+	head := dec.Int()
+	length := dec.Int()
+	overrides := dec.U64()
+	useful := dec.U64()
+	dec.Close()
+	if dec.Err() != nil {
+		return
+	}
+	if head < 0 || head >= len(p.slim) || length < 0 || length > len(p.slim) {
+		dec.Failf("slim cursors (head %d, len %d) out of range for %d slots", head, length, len(p.slim))
+		return
+	}
+	p.slimHead, p.slimLen = head, length
+	p.Overrides, p.Useful = overrides, useful
+}

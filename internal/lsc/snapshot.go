@@ -1,0 +1,67 @@
+package lsc
+
+import "repro/internal/checkpoint"
+
+// Snapshot writes the LGEHL tree, local history table, in-flight SLHM
+// ring, bank tracker (when interleaved), revert accounting and
+// revert-threshold state (the shared stats object belongs to the owner).
+func (c *Corrector) Snapshot(enc *checkpoint.Encoder) {
+	enc.Begin("lsc", 1)
+	c.eng.Snapshot(enc)
+	c.lht.Snapshot(enc)
+	enc.U32(uint32(len(c.slhm)))
+	for i := range c.slhm {
+		enc.Int(c.slhm[i].idx)
+		enc.U32(c.slhm[i].hist)
+	}
+	enc.Int(c.slhmHead)
+	enc.Int(c.slhmLen)
+	if c.banks != nil {
+		c.banks.Snapshot(enc)
+	}
+	enc.U64(c.Reverts)
+	enc.U64(c.UsefulReverts)
+	enc.I32(c.rthresh)
+	enc.I32(c.rbenefit)
+	enc.End()
+}
+
+// LoadSnapshot restores a Snapshot into a corrector of the same shape,
+// validating the SLHM cursors against its capacity.
+func (c *Corrector) LoadSnapshot(dec *checkpoint.Decoder) {
+	dec.Open("lsc", 1)
+	c.eng.LoadSnapshot(dec)
+	c.lht.LoadSnapshot(dec)
+	n := int(dec.U32())
+	if dec.Err() != nil {
+		return
+	}
+	if n != len(c.slhm) {
+		dec.Failf("slhm ring holds %d slots, this configuration needs %d", n, len(c.slhm))
+		return
+	}
+	for i := range c.slhm {
+		c.slhm[i].idx = dec.Int()
+		c.slhm[i].hist = dec.U32()
+	}
+	head := dec.Int()
+	length := dec.Int()
+	if c.banks != nil {
+		c.banks.LoadSnapshot(dec)
+	}
+	reverts := dec.U64()
+	useful := dec.U64()
+	rthresh := dec.I32()
+	rbenefit := dec.I32()
+	dec.Close()
+	if dec.Err() != nil {
+		return
+	}
+	if head < 0 || head >= len(c.slhm) || length < 0 || length > len(c.slhm) {
+		dec.Failf("slhm cursors (head %d, len %d) out of range for %d slots", head, length, len(c.slhm))
+		return
+	}
+	c.slhmHead, c.slhmLen = head, length
+	c.Reverts, c.UsefulReverts = reverts, useful
+	c.rthresh, c.rbenefit = rthresh, rbenefit
+}

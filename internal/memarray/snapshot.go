@@ -1,0 +1,46 @@
+package memarray
+
+import "repro/internal/checkpoint"
+
+// Snapshot writes every access counter.
+func (s *Stats) Snapshot(enc *checkpoint.Encoder) {
+	enc.U64(s.PredictReads)
+	enc.U64(s.RetireReads)
+	enc.U64(s.EntryWrites)
+	enc.U64(s.SilentSkipped)
+	enc.U64(s.WriteEvents)
+	enc.U64(s.RetiredBranch)
+	enc.U64(s.Mispredictions)
+}
+
+// LoadSnapshot restores the access counters.
+func (s *Stats) LoadSnapshot(dec *checkpoint.Decoder) {
+	s.PredictReads = dec.U64()
+	s.RetireReads = dec.U64()
+	s.EntryWrites = dec.U64()
+	s.SilentSkipped = dec.U64()
+	s.WriteEvents = dec.U64()
+	s.RetiredBranch = dec.U64()
+	s.Mispredictions = dec.U64()
+}
+
+// Snapshot writes the two-deep bank exclusion window.
+func (t *BankTracker) Snapshot(enc *checkpoint.Encoder) {
+	enc.Int(t.prev1)
+	enc.Int(t.prev2)
+}
+
+// LoadSnapshot restores the bank exclusion window; stored banks must be
+// -1 (no access) or a valid bank index.
+func (t *BankTracker) LoadSnapshot(dec *checkpoint.Decoder) {
+	p1 := dec.Int()
+	p2 := dec.Int()
+	if dec.Err() != nil {
+		return
+	}
+	if p1 < -1 || p1 >= NumBanks || p2 < -1 || p2 >= NumBanks {
+		dec.Failf("bank tracker state (%d, %d) out of range", p1, p2)
+		return
+	}
+	t.prev1, t.prev2 = p1, p2
+}

@@ -1,0 +1,39 @@
+package neural
+
+import "repro/internal/checkpoint"
+
+// Snapshot implements predictor.Predictor.
+func (p *Predictor) Snapshot(enc *checkpoint.Encoder) {
+	enc.Begin("neural", 1)
+	enc.I8s(p.w)
+	enc.I8s(p.bias)
+	enc.U32s(p.path)
+	enc.Bools(p.dirs)
+	enc.Int(p.head)
+	enc.I32(p.theta)
+	enc.I32(p.tc)
+	p.stats.Snapshot(enc)
+	enc.End()
+}
+
+// Restore implements predictor.Predictor.
+func (p *Predictor) Restore(dec *checkpoint.Decoder) {
+	dec.Open("neural", 1)
+	dec.I8sInto(p.w)
+	dec.I8sInto(p.bias)
+	dec.U32sInto(p.path)
+	dec.BoolsInto(p.dirs)
+	head := dec.Int()
+	theta := dec.I32()
+	tc := dec.I32()
+	p.stats.LoadSnapshot(dec)
+	dec.Close()
+	if dec.Err() != nil {
+		return
+	}
+	if head < 0 || head >= p.cfg.Hist {
+		dec.Failf("neural history head %d out of range [0,%d)", head, p.cfg.Hist)
+		return
+	}
+	p.head, p.theta, p.tc = head, theta, tc
+}

@@ -1,0 +1,28 @@
+package rng
+
+import "repro/internal/checkpoint"
+
+// Snapshot writes the generator's full 256-bit state.
+func (x *Xoshiro) Snapshot(enc *checkpoint.Encoder) {
+	enc.U64(x.s[0])
+	enc.U64(x.s[1])
+	enc.U64(x.s[2])
+	enc.U64(x.s[3])
+}
+
+// LoadSnapshot restores the generator state. An all-zero stored state
+// (which would trap xoshiro at zero forever) is rejected as corrupt.
+func (x *Xoshiro) LoadSnapshot(dec *checkpoint.Decoder) {
+	s0 := dec.U64()
+	s1 := dec.U64()
+	s2 := dec.U64()
+	s3 := dec.U64()
+	if dec.Err() != nil {
+		return
+	}
+	if s0|s1|s2|s3 == 0 {
+		dec.Failf("rng state is all zero (xoshiro fixed point)")
+		return
+	}
+	x.s[0], x.s[1], x.s[2], x.s[3] = s0, s1, s2, s3
+}

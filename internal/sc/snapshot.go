@@ -1,0 +1,31 @@
+package sc
+
+import "repro/internal/checkpoint"
+
+// Snapshot writes the corrector's adder tree, global history, folds,
+// revert accounting and revert-threshold state (the shared stats object
+// belongs to the owning predictor).
+func (c *Corrector) Snapshot(enc *checkpoint.Encoder) {
+	enc.Begin("sc", 1)
+	c.eng.Snapshot(enc)
+	c.ghist.Snapshot(enc)
+	c.folds.Snapshot(enc)
+	enc.U64(c.Reverts)
+	enc.U64(c.UsefulReverts)
+	enc.I32(c.rthresh)
+	enc.I32(c.rbenefit)
+	enc.End()
+}
+
+// LoadSnapshot restores a Snapshot into a corrector of the same shape.
+func (c *Corrector) LoadSnapshot(dec *checkpoint.Decoder) {
+	dec.Open("sc", 1)
+	c.eng.LoadSnapshot(dec)
+	c.ghist.LoadSnapshot(dec)
+	c.folds.LoadSnapshot(dec)
+	c.Reverts = dec.U64()
+	c.UsefulReverts = dec.U64()
+	c.rthresh = dec.I32()
+	c.rbenefit = dec.I32()
+	dec.Close()
+}

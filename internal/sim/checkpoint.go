@@ -1,0 +1,186 @@
+package sim
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"repro/internal/checkpoint"
+	"repro/internal/predictor"
+	"repro/internal/trace"
+)
+
+// Checkpoint is a mid-trace (or end-of-trace) snapshot of one
+// simulation: the predictor's full dynamic state plus the simulator's
+// own in-flight window and counters, taken at a consistent point
+// between decode batches. At records how many branches had been
+// simulated when the blob was taken; a Runner resuming from it skips
+// exactly that prefix of the trace.
+type Checkpoint struct {
+	At   uint64
+	Blob []byte
+}
+
+// simState carries the Run loop's local counters across the
+// snapshot/restore boundary (the hot loop keeps them in registers; the
+// checkpoint path copies them in and out at the edges).
+type simState struct {
+	seq          uint64
+	branches     uint64
+	microOps     uint64
+	mispreds     uint64
+	penaltySum   float64
+	retireReads  uint64
+	writeEvents  uint64
+	retiredCount uint64
+	count        int
+}
+
+// encodeCheckpoint serializes the simulator section (pipeline
+// configuration for validation, counters, and the in-flight ring in
+// age order) followed by the predictor's own sections.
+func (rn *Runner[C]) encodeCheckpoint(p predictor.Predictor[C], opt Options, window int,
+	ring []inflight[C], retireAt []uint64, head, ringMask int, st simState) ([]byte, error) {
+	enc := checkpoint.NewEncoder()
+	enc.Begin("sim", 1)
+	enc.U8(uint8(opt.Scenario))
+	enc.Int(window)
+	enc.Int(opt.ExecDelay)
+	enc.F64(opt.PenaltyBase)
+	enc.U64(st.seq)
+	enc.U64(st.branches)
+	enc.U64(st.microOps)
+	enc.U64(st.mispreds)
+	enc.F64(st.penaltySum)
+	enc.U64(st.retireReads)
+	enc.U64(st.writeEvents)
+	enc.U64(st.retiredCount)
+	enc.Int(st.count)
+	// In-flight entries in age order (oldest first), with absolute
+	// retire times — seq continues across the resume, so no rebasing.
+	ctxs := make([]C, st.count)
+	for i := 0; i < st.count; i++ {
+		slot := (head + i) & ringMask
+		e := &ring[slot]
+		enc.U64(retireAt[slot])
+		enc.U64(e.pc)
+		enc.Bool(e.taken)
+		enc.Bool(e.mispred)
+		ctxs[i] = e.ctx
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(ctxs); err != nil {
+		return nil, fmt.Errorf("sim: encoding in-flight contexts: %w", err)
+	}
+	enc.Bytes(buf.Bytes())
+	enc.End()
+	p.Snapshot(enc)
+	return enc.Blob(), nil
+}
+
+// decodeCheckpoint restores the simulator section into the ring
+// (normalized to head 0) and the predictor's state, validating that
+// the blob was taken under the same pipeline configuration. On error
+// the predictor and ring are in an unspecified state; the caller falls
+// back to Reset and a cold start.
+func (rn *Runner[C]) decodeCheckpoint(p predictor.Predictor[C], opt Options, window int,
+	ring []inflight[C], retireAt []uint64, blob []byte) (simState, error) {
+	var st simState
+	dec := checkpoint.NewDecoder(blob)
+	dec.Open("sim", 1)
+	scenario := predictor.Scenario(dec.U8())
+	ckWindow := dec.Int()
+	ckDelay := dec.Int()
+	ckPenalty := dec.F64()
+	if err := dec.Err(); err != nil {
+		return st, err
+	}
+	if scenario != opt.Scenario || ckWindow != window || ckDelay != opt.ExecDelay || ckPenalty != opt.PenaltyBase {
+		return st, fmt.Errorf("sim: checkpoint taken under scenario=%s window=%d execdelay=%d penalty=%g, this run uses scenario=%s window=%d execdelay=%d penalty=%g",
+			scenario.Letter(), ckWindow, ckDelay, ckPenalty,
+			opt.Scenario.Letter(), window, opt.ExecDelay, opt.PenaltyBase)
+	}
+	st.seq = dec.U64()
+	st.branches = dec.U64()
+	st.microOps = dec.U64()
+	st.mispreds = dec.U64()
+	st.penaltySum = dec.F64()
+	st.retireReads = dec.U64()
+	st.writeEvents = dec.U64()
+	st.retiredCount = dec.U64()
+	st.count = dec.Int()
+	if err := dec.Err(); err != nil {
+		return st, err
+	}
+	if st.count < 0 || st.count > window+1 || st.count >= len(ring) {
+		return st, fmt.Errorf("sim: checkpoint carries %d in-flight branches, window %d allows at most %d", st.count, window, window+1)
+	}
+	for i := 0; i < st.count; i++ {
+		retireAt[i] = dec.U64()
+		ring[i].pc = dec.U64()
+		ring[i].taken = dec.Bool()
+		ring[i].mispred = dec.Bool()
+	}
+	ctxBytes := dec.Bytes()
+	if err := dec.Err(); err != nil {
+		return st, err
+	}
+	var ctxs []C
+	if err := gob.NewDecoder(bytes.NewReader(ctxBytes)).Decode(&ctxs); err != nil {
+		return st, fmt.Errorf("sim: decoding in-flight contexts: %w", err)
+	}
+	if len(ctxs) != st.count {
+		return st, fmt.Errorf("sim: checkpoint carries %d in-flight contexts for %d in-flight branches", len(ctxs), st.count)
+	}
+	for i := 0; i < st.count; i++ {
+		ring[i].ctx = ctxs[i]
+	}
+	dec.Close()
+	p.Restore(dec)
+	if err := dec.Err(); err != nil {
+		return st, err
+	}
+	return st, nil
+}
+
+// skipPrefix discards n branches from src: O(1) for sources exposing
+// Skip (trace.Cursor), a read-and-discard loop otherwise. Returns how
+// many branches were actually skipped (short when the source ends).
+func skipPrefix(src trace.Source, n uint64, batch []trace.Branch) uint64 {
+	if sk, ok := src.(interface{ Skip(int) int }); ok {
+		var done uint64
+		for done < n {
+			step := n - done
+			if step > 1<<30 {
+				step = 1 << 30
+			}
+			got := sk.Skip(int(step))
+			done += uint64(got)
+			if got == 0 {
+				break
+			}
+		}
+		return done
+	}
+	batcher, _ := src.(trace.Batcher)
+	var done uint64
+	for done < n {
+		if batcher != nil {
+			want := n - done
+			if want > uint64(len(batch)) {
+				want = uint64(len(batch))
+			}
+			got := batcher.NextBatch(batch[:want])
+			if got == 0 {
+				break
+			}
+			done += uint64(got)
+		} else {
+			if _, ok := src.Next(); !ok {
+				break
+			}
+			done++
+		}
+	}
+	return done
+}

@@ -70,6 +70,24 @@ type Options struct {
 	// inside a long trace) and per-scenario pipeline flush counts. Nil
 	// keeps the run telemetry-free with zero hot-path overhead.
 	Metrics *metrics.Registry
+
+	// Resume, when non-nil, warm-starts the run from a Checkpoint taken
+	// by an earlier run of the identical (predictor configuration,
+	// trace, pipeline options) cell: the predictor state and in-flight
+	// window are restored and the first Resume.At branches of the
+	// source are skipped. A blob that fails to decode or describes a
+	// different configuration falls back to a cold start (the predictor
+	// is Reset); Result.ResumeErr reports why.
+	Resume *Checkpoint
+	// OnCheckpoint, when non-nil, receives a checkpoint blob at the end
+	// of the trace (always) and, when CheckpointEvery > 0, every
+	// CheckpointEvery branches along the way (taken between decode
+	// batches, so the granularity is the batch size). The callback must
+	// not retain the predictor; the blob is self-contained.
+	OnCheckpoint func(blob []byte, at uint64)
+	// CheckpointEvery is the approximate branch interval between
+	// periodic OnCheckpoint emissions (0 = only the end-of-trace blob).
+	CheckpointEvery uint64
 }
 
 // Default pipeline parameters, applied when Options leaves the fields
@@ -125,6 +143,12 @@ type Result struct {
 	// accuracy metrics, and ignored by baseline diffing).
 	Elapsed        time.Duration
 	BranchesPerSec float64
+	// ResumedAt is the branch index a warm start resumed from (0 for a
+	// cold run); ResumeErr is the reason a requested warm start fell
+	// back to a cold run, if it did. Both are telemetry: accuracy
+	// results of a resumed run are byte-identical to a cold run.
+	ResumedAt uint64
+	ResumeErr error
 }
 
 func (r Result) String() string {
@@ -225,6 +249,39 @@ func (rn *Runner[C]) Run(p predictor.Predictor[C], name, category string, src tr
 		retiredCount uint64
 	)
 
+	// Warm start: restore predictor state and the in-flight window from
+	// a checkpoint, then skip the already-simulated trace prefix. A bad
+	// blob degrades to a cold start — the warm cache is an optimization,
+	// never a correctness dependency.
+	var resumedAt uint64
+	var resumeErr error
+	var restoredMispreds uint64
+	if opt.Resume != nil && len(opt.Resume.Blob) > 0 {
+		st, err := rn.decodeCheckpoint(p, opt, window, ring, retireAt, opt.Resume.Blob)
+		if err == nil {
+			// A blob claiming a longer already-simulated prefix than the
+			// source holds cannot be a checkpoint of this cell; refuse it
+			// before consuming the source so the cold fallback sees the
+			// whole trace. Sources without a known length skip the check.
+			if lener, ok := src.(interface{ Len() int }); ok && st.branches > uint64(lener.Len()) {
+				err = fmt.Errorf("sim: checkpoint taken after %d branches, but this source holds only %d", st.branches, lener.Len())
+			}
+		}
+		if err == nil {
+			seq, branches, microOps, mispreds = st.seq, st.branches, st.microOps, st.mispreds
+			penaltySum = st.penaltySum
+			retireReads, writeEvents, retiredCount = st.retireReads, st.writeEvents, st.retiredCount
+			head, tail, count = 0, st.count&ringMask, st.count
+			restoredMispreds = mispreds
+			resumedAt = skipPrefix(src, branches, rn.batch[:])
+		} else {
+			resumeErr = err
+			p.Reset()
+			clear(ring)
+			clear(retireAt)
+		}
+	}
+
 	retireOne := func() {
 		e := &ring[head]
 		reread := rereadAlways || (rereadOnMiss && e.mispred)
@@ -257,6 +314,23 @@ func (rn *Runner[C]) Run(p predictor.Predictor[C], name, category string, src tr
 		}
 	}
 	retiredCtr := rn.retiredCtr
+
+	// Periodic checkpoints fire between decode batches once branches
+	// crosses nextCk (anchored past any restored prefix).
+	var nextCk uint64
+	if opt.OnCheckpoint != nil && opt.CheckpointEvery > 0 {
+		nextCk = branches + opt.CheckpointEvery
+	}
+	emitCheckpoint := func() {
+		st := simState{
+			seq: seq, branches: branches, microOps: microOps, mispreds: mispreds,
+			penaltySum: penaltySum, retireReads: retireReads,
+			writeEvents: writeEvents, retiredCount: retiredCount, count: count,
+		}
+		if blob, err := rn.encodeCheckpoint(p, opt, window, ring, retireAt, head, ringMask, st); err == nil {
+			opt.OnCheckpoint(blob, branches)
+		}
+	}
 
 	start := time.Now()
 	batcher, _ := src.(trace.Batcher)
@@ -314,10 +388,22 @@ func (rn *Runner[C]) Run(p predictor.Predictor[C], name, category string, src tr
 			}
 			seq++
 		}
+		if nextCk > 0 && branches >= nextCk {
+			emitCheckpoint()
+			for nextCk <= branches {
+				nextCk += opt.CheckpointEvery
+			}
+		}
 	}
 	// Drain the pipeline at trace end.
 	for count > 0 {
 		retireOne()
+	}
+	// The end-of-trace checkpoint is taken after the drain and before
+	// the stats flush: restoring it and "continuing" over zero branches
+	// reproduces the final counters exactly.
+	if opt.OnCheckpoint != nil {
+		emitCheckpoint()
 	}
 	elapsed := time.Since(start)
 
@@ -329,8 +415,10 @@ func (rn *Runner[C]) Run(p predictor.Predictor[C], name, category string, src tr
 
 	if rn.flushVec != nil {
 		// Each misprediction drains the in-flight window — a pipeline
-		// flush. Accumulated locally, flushed once per run.
-		rn.flushVec.With(opt.Scenario.Letter()).Add(mispreds)
+		// flush. Accumulated locally, flushed once per run; a warm start
+		// adds only what this run simulated (the restored prefix was
+		// accounted by the run that took the checkpoint).
+		rn.flushVec.With(opt.Scenario.Letter()).Add(mispreds - restoredMispreds)
 	}
 
 	res := Result{
@@ -345,6 +433,8 @@ func (rn *Runner[C]) Run(p predictor.Predictor[C], name, category string, src tr
 		Window:      window,
 		ExecDelay:   opt.ExecDelay,
 		Elapsed:     elapsed,
+		ResumedAt:   resumedAt,
+		ResumeErr:   resumeErr,
 	}
 	if secs := elapsed.Seconds(); secs > 0 && branches > 0 {
 		res.BranchesPerSec = float64(branches) / secs

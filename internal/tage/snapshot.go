@@ -1,0 +1,69 @@
+package tage
+
+import "repro/internal/checkpoint"
+
+// Snapshot implements predictor.Predictor: the contiguous tagged-entry
+// store, the bimodal base, the global history and per-table folds, the
+// allocation-policy counters, the RNG stream, and — when configured —
+// the bank tracker and IUM. Shape parameters stay with the Config.
+func (p *Predictor) Snapshot(enc *checkpoint.Encoder) {
+	enc.Begin("tage", 1)
+	enc.U32(uint32(len(p.entries)))
+	for i := range p.entries {
+		e := &p.entries[i]
+		enc.I8(e.ctr)
+		enc.U8(e.u)
+		enc.U16(e.tag)
+	}
+	p.bim.Snapshot(enc)
+	p.ghist.Snapshot(enc)
+	for i := range p.folds {
+		p.folds[i].Snapshot(enc)
+	}
+	enc.I32(p.useAlt)
+	enc.U32(p.tick)
+	p.rand.Snapshot(enc)
+	if p.banks != nil {
+		p.banks.Snapshot(enc)
+	}
+	if p.ium != nil {
+		p.ium.Snapshot(enc)
+	}
+	p.stats.Snapshot(enc)
+	enc.End()
+}
+
+// Restore implements predictor.Predictor.
+func (p *Predictor) Restore(dec *checkpoint.Decoder) {
+	dec.Open("tage", 1)
+	n := int(dec.U32())
+	if dec.Err() != nil {
+		return
+	}
+	if n != len(p.entries) {
+		dec.Failf("tage entry store holds %d entries, this configuration needs %d", n, len(p.entries))
+		return
+	}
+	for i := range p.entries {
+		e := &p.entries[i]
+		e.ctr = dec.I8()
+		e.u = dec.U8()
+		e.tag = dec.U16()
+	}
+	p.bim.LoadSnapshot(dec)
+	p.ghist.LoadSnapshot(dec)
+	for i := range p.folds {
+		p.folds[i].LoadSnapshot(dec)
+	}
+	p.useAlt = dec.I32()
+	p.tick = dec.U32()
+	p.rand.LoadSnapshot(dec)
+	if p.banks != nil {
+		p.banks.LoadSnapshot(dec)
+	}
+	if p.ium != nil {
+		p.ium.LoadSnapshot(dec)
+	}
+	p.stats.LoadSnapshot(dec)
+	dec.Close()
+}

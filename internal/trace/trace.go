@@ -117,6 +117,30 @@ func (c *Cursor) NextBatch(dst []Branch) int {
 	return n
 }
 
+// Len returns the number of branches remaining before the cursor, so a
+// resume can reject a checkpoint claiming a longer already-simulated
+// prefix than the trace holds before consuming anything.
+func (c *Cursor) Len() int {
+	if c.t == nil {
+		return 0
+	}
+	return len(c.t.Branches) - c.i
+}
+
+// Skip advances the cursor by up to n branches without yielding them
+// (O(1) — the resume path of a checkpointed simulation) and returns
+// how many were skipped.
+func (c *Cursor) Skip(n int) int {
+	if c.t == nil || n <= 0 {
+		return 0
+	}
+	if rem := len(c.t.Branches) - c.i; n > rem {
+		n = rem
+	}
+	c.i += n
+	return n
+}
+
 // Collect materialises up to limit branches from a source (limit <= 0 means
 // no limit).
 func Collect(name, category string, src Source, limit int) *Trace {
@@ -255,6 +279,35 @@ func Read(r io.Reader) (*Trace, error) {
 		prev = pc
 	}
 	return t, nil
+}
+
+// Hash returns a content hash of the trace's branch sequence (FNV-1a
+// over PC, outcome and µop count of every branch). Two traces hash
+// equal exactly when they drive a predictor identically, which is what
+// checkpoint caches key on — name and category are presentation.
+func (t *Trace) Hash() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	byte1 := func(b byte) {
+		h = (h ^ uint64(b)) * prime64
+	}
+	for _, b := range t.Branches {
+		pc := b.PC
+		for i := 0; i < 8; i++ {
+			byte1(byte(pc))
+			pc >>= 8
+		}
+		if b.Taken {
+			byte1(1)
+		} else {
+			byte1(0)
+		}
+		byte1(b.OpsBefore)
+	}
+	return h
 }
 
 // Stats summarises a trace.
