@@ -1,0 +1,201 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// syncWriter guards a buffer the serve/work goroutines log into while
+// the test reads it.
+type syncWriter struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (w *syncWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.buf.Write(p)
+}
+
+func (w *syncWriter) String() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.buf.String()
+}
+
+// The slog text handler quotes the message, so stop at the closing quote.
+var serveAddrRe = regexp.MustCompile(`on http://([^"\s\\]+)`)
+
+// startServe runs `bpbench serve` on an ephemeral port and returns its
+// base URL, parsed from the startup log line.
+func startServe(t *testing.T, extra ...string) string {
+	t.Helper()
+	stop := make(chan struct{})
+	done := make(chan int, 1)
+	var stderr syncWriter
+	args := append([]string{"-addr", "127.0.0.1:0", "-lease-ttl", "5s"}, extra...)
+	go func() { done <- runServe(args, &bytes.Buffer{}, &stderr, stop) }()
+	t.Cleanup(func() {
+		close(stop)
+		select {
+		case code := <-done:
+			if code != 0 {
+				t.Errorf("serve exited %d:\n%s", code, stderr.String())
+			}
+		case <-time.After(5 * time.Second):
+			t.Error("serve did not stop")
+		}
+	})
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if m := serveAddrRe.FindStringSubmatch(stderr.String()); m != nil {
+			return "http://" + m[1]
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("serve never reported its address:\n%s", stderr.String())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// startWork runs `bpbench work` against base until the test ends.
+func startWork(t *testing.T, base string) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan int, 1)
+	var stderr syncWriter
+	go func() {
+		done <- runWork([]string{"-connect", base, "-poll", "20ms", "-parallelism", "2"}, &bytes.Buffer{}, &stderr, ctx)
+	}()
+	t.Cleanup(func() {
+		cancel()
+		select {
+		case code := <-done:
+			if code != 0 {
+				t.Errorf("work exited %d:\n%s", code, stderr.String())
+			}
+		case <-time.After(10 * time.Second):
+			t.Error("worker did not stop")
+		}
+	})
+}
+
+// sweepTo submits the golden CI matrix restricted to the given models
+// and writes the streamed records to path.
+func sweepTo(t *testing.T, base, path, models string) {
+	t.Helper()
+	body := fmt.Sprintf(`{"models":[%s],"traces":["INT01"],"scenarios":"A,C","branches":[20000]}`, models)
+	resp, err := http.Post(base+"/v1/sweep", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sweep returned %s", resp.Status)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestServeWorkMergeDiffGolden is the CLI end-to-end: a coordinator and
+// one worker run the golden CI matrix as two partitioned submissions
+// (by model, the first matrix axis), the two JSONL streams are merged
+// with `bpbench merge`, and `bpbench diff` against the checked-in
+// golden store must report zero movement — the distributed path
+// produces bit-identical predictor measurements to a local run.
+func TestServeWorkMergeDiffGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("distributed e2e in -short mode")
+	}
+	base := startServe(t)
+	startWork(t, base)
+
+	dir := t.TempDir()
+	a, b := filepath.Join(dir, "a.jsonl"), filepath.Join(dir, "b.jsonl")
+	sweepTo(t, base, a, `"tage"`)
+	sweepTo(t, base, b, `"gshare"`)
+
+	merged := filepath.Join(dir, "merged.jsonl")
+	if code, _, errOut := runCapture(t, "merge", a, b, "-o", merged); code != 0 {
+		t.Fatalf("merge exited %d:\n%s", code, errOut)
+	}
+	// Zero movement against the checked-in golden proves the full
+	// distributed path reproduced the local measurements exactly.
+	code, out, errOut := runCapture(t, "diff", filepath.Join("testdata", "ci-golden.jsonl"), merged)
+	if code != 0 {
+		t.Fatalf("diff against golden exited %d\nstdout:\n%s\nstderr:\n%s", code, out, errOut)
+	}
+
+	// The coordinator's own /metrics names the worker.
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var metrics bytes.Buffer
+	metrics.ReadFrom(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(metrics.String(), "bpbench_leases_granted_total{worker=") {
+		t.Fatalf("coordinator /metrics has no per-worker lease telemetry:\n%s", metrics.String())
+	}
+}
+
+// TestMergeCLIStdoutAndErrors covers merge's thinner paths: stdout
+// output, missing stores, conflicting stores.
+func TestMergeCLIStdoutAndErrors(t *testing.T) {
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a.jsonl")
+	b := filepath.Join(dir, "b.jsonl")
+	os.WriteFile(a, []byte(`{"kind":"cell","model":"m","trace":"INT01","scenario":"A","branches":100,"window":24,"exec_delay":6,"mpki":2,"mppki":40,"mispredicts":1}`+"\n"), 0o644)
+	os.WriteFile(b, []byte(`{"kind":"cell","model":"m","trace":"INT02","scenario":"A","branches":100,"window":24,"exec_delay":6,"mpki":3,"mppki":60,"mispredicts":1}`+"\n"), 0o644)
+
+	code, out, errOut := runCapture(t, "merge", a, b)
+	if code != 0 {
+		t.Fatalf("merge exited %d:\n%s", code, errOut)
+	}
+	if got := strings.Count(out, `"kind":"cell"`); got != 2 {
+		t.Fatalf("merged stdout has %d cells, want 2:\n%s", got, out)
+	}
+	if !strings.Contains(out, `"kind":"suite"`) {
+		t.Fatalf("merge did not recompute aggregates:\n%s", out)
+	}
+
+	if code, _, _ := runCapture(t, "merge"); code == 0 {
+		t.Fatal("merge with no stores succeeded")
+	}
+	if code, _, _ := runCapture(t, "merge", filepath.Join(dir, "nope.jsonl")); code == 0 {
+		t.Fatal("merge with a missing store succeeded")
+	}
+
+	conflict := filepath.Join(dir, "conflict.jsonl")
+	os.WriteFile(conflict, []byte(`{"kind":"cell","model":"m","trace":"INT01","scenario":"A","branches":100,"window":48,"exec_delay":6,"mpki":9,"mppki":40,"mispredicts":1}`+"\n"), 0o644)
+	code, _, errOut = runCapture(t, "merge", a, conflict)
+	if code == 0 || !strings.Contains(errOut, "disagree") {
+		t.Fatalf("conflicting merge: code %d, stderr:\n%s", code, errOut)
+	}
+}
+
+// TestWorkCLIUsage: -connect is mandatory.
+func TestWorkCLIUsage(t *testing.T) {
+	if code, _, errOut := runCapture(t, "work"); code != 2 || !strings.Contains(errOut, "-connect") {
+		t.Fatalf("work without -connect: code %d, stderr:\n%s", code, errOut)
+	}
+}

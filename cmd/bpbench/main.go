@@ -12,6 +12,9 @@
 //	bpbench compact store.jsonl -dry-run   # store lifecycle maintenance
 //	bpbench compact store.jsonl -prune-drift   # drop cells from other SHAs
 //	bpbench diff -provenance old.jsonl new.jsonl -tolerance 0.05
+//	bpbench serve -addr :9090 -store dist.jsonl   # distributed sweep coordinator
+//	bpbench work -connect http://host:9090   # pull worker for a coordinator
+//	bpbench merge a.jsonl b.jsonl -o out.jsonl   # union partial result stores
 //	bpbench -list
 //
 // -models accepts model specs — named models ("tage-lsc") or any
@@ -81,6 +84,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if len(args) > 0 && args[0] == "compact" {
 		return runCompact(args[1:], stdout, stderr)
+	}
+	if len(args) > 0 && args[0] == "serve" {
+		return runServe(args[1:], stdout, stderr, nil)
+	}
+	if len(args) > 0 && args[0] == "work" {
+		return runWork(args[1:], stdout, stderr, nil)
+	}
+	if len(args) > 0 && args[0] == "merge" {
+		return runMerge(args[1:], stdout, stderr)
 	}
 	fs := flag.NewFlagSet("bpbench", flag.ContinueOnError)
 	fs.SetOutput(stderr)

@@ -1,40 +1,136 @@
 package harness
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
 )
+
+// Test seams. sidecarWriteFailure, when non-nil, is injected as the
+// error of the owner-PID write so tests can exercise the cleanup path
+// without a read-only filesystem. sidecarReclaimRace, when non-nil,
+// runs between the staleness probe and the reclaim rename — the window
+// a concurrent writer can slip into — so tests can fabricate the
+// interleaving deterministically.
+var (
+	sidecarWriteFailure error
+	sidecarReclaimRace  func()
+)
+
+// reclaimSeq makes claim filenames unique within a process: two
+// goroutines reclaiming the same lock must park the stale file under
+// different names, because rename onto an existing path silently
+// clobbers it.
+var reclaimSeq atomic.Uint64
+
+// reclaimMu serialises the probe-rename-verify sequence within this
+// process, so a goroutine delayed between its staleness probe and its
+// rename can never park a lock a sibling goroutine just legitimately
+// created. Across processes the re-verification below bounds the same
+// race instead.
+var reclaimMu sync.Mutex
 
 // acquireSidecarLock serialises store writers with an O_EXCL lockfile
 // next to the store, used on platforms without flock. Unlike flock, a
 // killed process leaves the sidecar behind — so on contention the
 // owner PID recorded in the file is read back: when that process is
-// gone the stale lock is reclaimed automatically (remove and retry
-// once); when it is alive — or the file is unreadable, so ownership
-// cannot be established — the caller refuses fast as before.
+// gone the stale lock is reclaimed (see reclaimStaleSidecar for the
+// race-safe protocol) and the acquire retried; when it is alive — or
+// the file is unreadable, so ownership cannot be established — the
+// caller refuses fast as before.
 func acquireSidecarLock(path string) (unlock func(), err error) {
 	lockPath := path + ".lock"
 	for attempt := 0; ; attempt++ {
 		lf, err := os.OpenFile(lockPath, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
 		if err == nil {
-			fmt.Fprintf(lf, "%d\n", os.Getpid())
-			lf.Close()
-			return func() { os.Remove(lockPath) }, nil
+			_, werr := fmt.Fprintf(lf, "%d\n", os.Getpid())
+			if werr == nil {
+				werr = sidecarWriteFailure
+			}
+			if cerr := lf.Close(); werr == nil {
+				werr = cerr
+			}
+			if werr != nil {
+				// An empty or torn lockfile is worse than no lock: its owner
+				// can never be established, so every future writer refuses
+				// until someone removes it by hand. Take it back out and
+				// fail loudly instead.
+				os.Remove(lockPath)
+				return nil, fmt.Errorf("harness: locking store %s: writing owner pid: %w", path, werr)
+			}
+			me := os.Getpid()
+			return func() { releaseSidecarLock(lockPath, me) }, nil
 		}
 		if !os.IsExist(err) {
 			return nil, fmt.Errorf("harness: locking store %s: %w", path, err)
 		}
-		if attempt == 0 && sidecarOwnerDead(lockPath) {
-			// Stale lock from a crashed writer: reclaim it. The remove
-			// can race another reclaimer; the retry's O_EXCL decides who
-			// actually got the lock.
-			os.Remove(lockPath)
-			continue
+		if attempt == 0 && reclaimStaleSidecar(lockPath) {
+			continue // stale lock parked; the retry's O_EXCL decides the winner
 		}
 		return nil, fmt.Errorf("harness: store %s is locked by another process (a concurrent resume is appending to it); wait for it to finish, or remove %s if its writer is gone", path, lockPath)
 	}
+}
+
+// releaseSidecarLock removes the lockfile only while it still names
+// this process. An unconditional remove would delete a successor's
+// lock in the pathological case where our lock was wrongly reclaimed
+// out from under us — bounded damage beats cascading damage.
+func releaseSidecarLock(lockPath string, me int) {
+	data, err := os.ReadFile(lockPath)
+	if err != nil {
+		return // already gone (or unreadable: leave it for a human)
+	}
+	if pid, perr := strconv.Atoi(strings.TrimSpace(string(data))); perr != nil || pid != me {
+		return
+	}
+	os.Remove(lockPath)
+}
+
+// reclaimStaleSidecar removes lockPath if its owner is dead, and
+// reports whether it did. The naive probe-then-remove has a TOCTOU
+// hole: between reading the dead PID and calling remove, another
+// writer can reclaim the file and acquire a fresh lock — which the
+// remove then deletes, letting two writers append to one store.
+//
+// Instead the stale file is renamed aside to a unique claim name and
+// re-read there. Rename is atomic, so whatever lands under the claim
+// name is one complete incarnation of the lockfile:
+//
+//   - still the dead owner → the claim is discarded; reclaimed.
+//   - a live owner (a new writer won the window) → the claim is linked
+//     back to lockPath (link, not rename: it cannot clobber a lock
+//     created in the meantime) and discarded; not reclaimed.
+//   - rename fails with ENOENT → someone else reclaimed first; treat
+//     as reclaimed and let the O_EXCL retry arbitrate.
+func reclaimStaleSidecar(lockPath string) bool {
+	reclaimMu.Lock()
+	defer reclaimMu.Unlock()
+	if !sidecarOwnerDead(lockPath) {
+		return false
+	}
+	if sidecarReclaimRace != nil {
+		sidecarReclaimRace()
+	}
+	claim := fmt.Sprintf("%s.reclaim.%d.%d", lockPath, os.Getpid(), reclaimSeq.Add(1))
+	if err := os.Rename(lockPath, claim); err != nil {
+		return errors.Is(err, os.ErrNotExist)
+	}
+	if sidecarOwnerDead(claim) {
+		os.Remove(claim)
+		return true
+	}
+	// We grabbed a live lock: put it back. Link never overwrites, so if
+	// yet another writer already holds a new lockPath this is a no-op
+	// (EEXIST) and that writer keeps its lock; the live owner we parked
+	// is then unlucky — its unlock will find nothing to remove — but no
+	// store ever has two writers.
+	os.Link(claim, lockPath)
+	os.Remove(claim)
+	return false
 }
 
 // sidecarOwnerDead reports whether the lockfile names a PID that is

@@ -1,11 +1,13 @@
 package harness
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -97,4 +99,152 @@ func TestSidecarLockFreshAcquire(t *testing.T) {
 		t.Fatalf("re-acquire after unlock: %v", err)
 	}
 	unlock2()
+}
+
+// TestSidecarLockReclaimRace is the regression test for the TOCTOU in
+// the original reclaim (probe dead owner → os.Remove → retry): if a
+// concurrent writer reclaimed the stale file and acquired a fresh lock
+// inside that window, the remove deleted the *live* lock and two
+// writers appended to one store. The sidecarReclaimRace hook fabricates
+// exactly that interleaving: after this acquirer has established "owner
+// dead", a rival swaps in a live-PID lockfile. The reclaim must detect
+// the swap, restore the rival's lock untouched, and refuse.
+func TestSidecarLockReclaimRace(t *testing.T) {
+	store := filepath.Join(t.TempDir(), "store.jsonl")
+	lockPath := store + ".lock"
+	if err := os.WriteFile(lockPath, []byte(fmt.Sprintf("%d\n", deadPID(t))), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	livePID := fmt.Sprintf("%d\n", os.Getpid())
+	sidecarReclaimRace = func() {
+		// The rival writer wins the window: stale lock replaced by a
+		// live one. (A real rival removes then O_EXCL-creates; the net
+		// file state is the same.)
+		if err := os.WriteFile(lockPath, []byte(livePID), 0o644); err != nil {
+			t.Error(err)
+		}
+	}
+	defer func() { sidecarReclaimRace = nil }()
+
+	if _, err := acquireSidecarLock(store); err == nil {
+		t.Fatal("acquire stole a lock a rival took during the reclaim window")
+	}
+	data, err := os.ReadFile(lockPath)
+	if err != nil {
+		t.Fatalf("rival's live lock was destroyed: %v", err)
+	}
+	if got := strings.TrimSpace(string(data)); got != strings.TrimSpace(livePID) {
+		t.Fatalf("lockfile names PID %s after the race, want the rival's %s", got, strings.TrimSpace(livePID))
+	}
+	// No reclaim-claim debris left behind.
+	matches, err := filepath.Glob(lockPath + ".reclaim.*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) != 0 {
+		t.Fatalf("reclaim left claim files behind: %v", matches)
+	}
+}
+
+// TestSidecarLockWriteFailureFailsLoud: when the owner PID cannot be
+// written, the acquire must fail with an error AND take the unowned
+// lockfile back out — an empty sidecar would block every future writer
+// until someone removes it by hand.
+func TestSidecarLockWriteFailureFailsLoud(t *testing.T) {
+	store := filepath.Join(t.TempDir(), "store.jsonl")
+	sidecarWriteFailure = errors.New("disk full")
+	_, err := acquireSidecarLock(store)
+	sidecarWriteFailure = nil
+	if err == nil || !strings.Contains(err.Error(), "writing owner pid") {
+		t.Fatalf("acquire = %v, want loud owner-write failure", err)
+	}
+	if _, serr := os.Stat(store + ".lock"); !os.IsNotExist(serr) {
+		t.Fatalf("failed acquire left an unowned lockfile behind: %v", serr)
+	}
+	// The path is not poisoned: the next acquire succeeds.
+	unlock, err := acquireSidecarLock(store)
+	if err != nil {
+		t.Fatalf("acquire after write failure: %v", err)
+	}
+	unlock()
+}
+
+// TestSidecarLockConcurrentReclaimOneWinner race-stresses the reclaim:
+// N goroutines all find the same dead-owner lockfile and try to take
+// it. Exactly one may win; the winner's lock must name this process and
+// survive the losers.
+func TestSidecarLockConcurrentReclaimOneWinner(t *testing.T) {
+	store := filepath.Join(t.TempDir(), "store.jsonl")
+	lockPath := store + ".lock"
+	if err := os.WriteFile(lockPath, []byte(fmt.Sprintf("%d\n", deadPID(t))), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	const n = 16
+	var wg sync.WaitGroup
+	unlocks := make([]func(), n)
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			unlocks[i], errs[i] = acquireSidecarLock(store)
+		}(i)
+	}
+	wg.Wait()
+
+	var winners int
+	var unlock func()
+	for i := 0; i < n; i++ {
+		if errs[i] == nil {
+			winners++
+			unlock = unlocks[i]
+		} else if !strings.Contains(errs[i].Error(), "locked by another process") {
+			t.Errorf("loser %d failed oddly: %v", i, errs[i])
+		}
+	}
+	if winners != 1 {
+		t.Fatalf("%d goroutines acquired the reclaimed lock, want exactly 1", winners)
+	}
+	data, err := os.ReadFile(lockPath)
+	if err != nil {
+		t.Fatalf("winner's lockfile missing: %v", err)
+	}
+	if got := strings.TrimSpace(string(data)); got != fmt.Sprint(os.Getpid()) {
+		t.Fatalf("lockfile names PID %s, want ours %d", got, os.Getpid())
+	}
+	if matches, _ := filepath.Glob(lockPath + ".reclaim.*"); len(matches) != 0 {
+		t.Fatalf("reclaim left claim files behind: %v", matches)
+	}
+	unlock()
+	if _, err := os.Stat(lockPath); !os.IsNotExist(err) {
+		t.Fatal("winner's unlock did not release the lock")
+	}
+}
+
+// TestSidecarUnlockRefusesForeignLock: unlock only removes the lockfile
+// while it still names this process, so a lock that was (wrongly)
+// reclaimed out from under a writer cannot cascade into deleting its
+// successor's lock.
+func TestSidecarUnlockRefusesForeignLock(t *testing.T) {
+	store := filepath.Join(t.TempDir(), "store.jsonl")
+	lockPath := store + ".lock"
+	unlock, err := acquireSidecarLock(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Someone replaces our lock (simulating the wrongly-reclaimed case).
+	foreign := fmt.Sprintf("%d\n", deadPID(t))
+	if err := os.WriteFile(lockPath, []byte(foreign), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	unlock()
+	data, err := os.ReadFile(lockPath)
+	if err != nil {
+		t.Fatalf("unlock removed a lock it no longer owned: %v", err)
+	}
+	if got := strings.TrimSpace(string(data)); got != strings.TrimSpace(foreign) {
+		t.Fatalf("lockfile = %s, want untouched %s", got, strings.TrimSpace(foreign))
+	}
+	os.Remove(lockPath)
 }

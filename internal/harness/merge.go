@@ -1,0 +1,89 @@
+package harness
+
+import "fmt"
+
+// MergeStores unions record stores produced by partial runs of one
+// logical sweep — partitioned submissions to different coordinators,
+// salvaged stores from interrupted runs — into a single canonical
+// store, equivalent to compacting their concatenation:
+//
+//   - Cells resolve exactly as Compact resolves a single store: the
+//     newest successful record per key wins (later arguments are
+//     "newer"), keys that never succeeded keep their newest failure so a
+//     resume retries them. Order is first appearance across the
+//     concatenation, which for disjoint model/trace partitions is the
+//     partitions in argument order.
+//   - Stale per-partition aggregate sets are dropped and one set is
+//     recomputed over the merged cells (even when no input carried
+//     aggregates — a merge's whole point is the union view).
+//
+// Merging refuses stores that disagree about a cell: two successful
+// records with the same key but different Window/ExecDelay or different
+// non-empty Specs were produced by different experiments, and silently
+// letting the newer one win would fabricate a sweep nobody ran. This is
+// the same conflict rule a -resume run applies against its store.
+func MergeStores(stores ...[]Record) ([]Record, CompactStats, error) {
+	var all []Record
+	for _, s := range stores {
+		all = append(all, s...)
+	}
+	if err := mergeConflicts(all); err != nil {
+		return nil, CompactStats{}, err
+	}
+	out, stats := Compact(all)
+	if stats.AggregatesOut == 0 && stats.CellsOut > 0 {
+		aggs := Aggregate(out)
+		if p := uniformProvenance(out); p != nil {
+			for i := range aggs {
+				aggs[i].Provenance = p
+			}
+		}
+		stats.AggregatesOut = len(aggs)
+		out = append(out, aggs...)
+		stats.Out = len(out)
+	}
+	return out, stats, nil
+}
+
+// mergeConflicts scans for cells the input stores disagree on. Only
+// successful records participate: failed records don't carry
+// Window/ExecDelay (see failedRecord), and a failure can't contradict a
+// measurement.
+func mergeConflicts(recs []Record) error {
+	type seen struct {
+		window, delay int
+		spec          string
+	}
+	cells := make(map[string]*seen)
+	var conflicts int
+	var first string
+	for _, r := range recs {
+		if (r.Kind != KindCell && r.Kind != "") || r.Failed() {
+			continue
+		}
+		key := r.Key()
+		s, ok := cells[key]
+		if !ok {
+			cells[key] = &seen{window: r.Window, delay: r.ExecDelay, spec: r.Spec}
+			continue
+		}
+		switch {
+		case s.window != r.Window || s.delay != r.ExecDelay:
+			conflicts++
+		case s.spec != "" && r.Spec != "" && s.spec != r.Spec:
+			conflicts++
+		default:
+			if s.spec == "" {
+				s.spec = r.Spec
+			}
+			continue
+		}
+		if first == "" {
+			first = key
+		}
+	}
+	if conflicts > 0 {
+		return fmt.Errorf("harness: stores disagree on %d cell(s) (first: %s) — different window/exec-delay or model spec; refusing to merge", conflicts, first)
+	}
+	return nil
+}

@@ -1,0 +1,159 @@
+package harness
+
+import (
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/predictor"
+)
+
+// runGrid executes a fake-model grid and returns every emitted record.
+func runGrid(t *testing.T, models []string, traces []string, cfg Config) []Record {
+	t.Helper()
+	ms := make([]Model, len(models))
+	for i, m := range models {
+		ms[i] = fakeModel(m, func(tr string) float64 { return float64(len(m) + len(tr)) })
+	}
+	matrix := testMatrix(t, ms, traces, []predictor.Scenario{predictor.ScenarioA, predictor.ScenarioC}, []int{100})
+	var sink collectSink
+	if _, err := Run(matrix, cfg, &sink); err != nil {
+		t.Fatal(err)
+	}
+	return sink.recs
+}
+
+// TestMergeModelPartitionEqualsUnionRun is the core merge property: a
+// sweep partitioned across workers by model (the first matrix axis) and
+// merged back is record-for-record identical to the same sweep run
+// uninterrupted — including the aggregates, which group strictly within
+// one model so no float-summation order changes.
+func TestMergeModelPartitionEqualsUnionRun(t *testing.T) {
+	traces := []string{"INT01", "INT02", "MM01"}
+	whole := runGrid(t, []string{"ma", "mb"}, traces, Config{})
+	partA := runGrid(t, []string{"ma"}, traces, Config{})
+	partB := runGrid(t, []string{"mb"}, traces, Config{})
+
+	merged, stats, err := MergeStores(partA, partB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(scrubTiming(merged), scrubTiming(whole)) {
+		t.Fatalf("merged partitions diverge from the union run\n got %d records\nwant %d records", len(merged), len(whole))
+	}
+	if stats.CellsOut != 12 { // 2 models x 3 traces x 2 scenarios
+		t.Fatalf("CellsOut = %d, want 12", stats.CellsOut)
+	}
+	if stats.AggregatesOut == 0 {
+		t.Fatal("merge dropped the aggregates")
+	}
+}
+
+// TestMergeTracePartitionEqualsUnionRun partitions by trace instead:
+// cell order differs from the union run (first-appearance across the
+// two stores), so compare as sets, and aggregates must still roll up
+// the union.
+func TestMergeTracePartitionEqualsUnionRun(t *testing.T) {
+	whole := runGrid(t, []string{"ma"}, []string{"INT01", "INT02", "MM01", "MM02"}, Config{})
+	partA := runGrid(t, []string{"ma"}, []string{"INT01", "MM01"}, Config{})
+	partB := runGrid(t, []string{"ma"}, []string{"INT02", "MM02"}, Config{})
+
+	merged, _, err := MergeStores(partA, partB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byKey := func(recs []Record) map[string]Record {
+		m := make(map[string]Record)
+		for _, r := range scrubTiming(recs) {
+			switch r.Kind {
+			case KindCell, "":
+				m["cell/"+r.Key()] = r
+			default:
+				m[r.Kind+"/"+r.Model+"/"+r.Category+"/"+r.Scenario] = r
+			}
+		}
+		return m
+	}
+	got, want := byKey(merged), byKey(whole)
+	if len(got) != len(want) {
+		t.Fatalf("merged has %d distinct records, union run has %d", len(got), len(want))
+	}
+	var keys []string
+	for k := range want {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if !reflect.DeepEqual(got[k], want[k]) {
+			t.Fatalf("record %s diverges\n got: %+v\nwant: %+v", k, got[k], want[k])
+		}
+	}
+}
+
+// TestMergeRecomputesMissingAggregates: stores produced with
+// NoAggregates still merge into a store with one full aggregate set.
+func TestMergeRecomputesMissingAggregates(t *testing.T) {
+	partA := runGrid(t, []string{"ma"}, []string{"INT01"}, Config{NoAggregates: true})
+	partB := runGrid(t, []string{"ma"}, []string{"INT02"}, Config{NoAggregates: true})
+	merged, stats, err := MergeStores(partA, partB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.AggregatesIn != 0 {
+		t.Fatalf("AggregatesIn = %d, want 0", stats.AggregatesIn)
+	}
+	if stats.AggregatesOut == 0 {
+		t.Fatal("merge did not recompute aggregates for cell-only stores")
+	}
+	var aggs int
+	for _, r := range merged {
+		if r.Kind != KindCell && r.Kind != "" {
+			aggs++
+		}
+	}
+	if aggs != stats.AggregatesOut {
+		t.Fatalf("stats say %d aggregates, stream holds %d", stats.AggregatesOut, aggs)
+	}
+}
+
+// TestMergeNewestSuccessWins: a failed cell in an earlier store is
+// superseded by the later store's success.
+func TestMergeNewestSuccessWins(t *testing.T) {
+	fail := Record{Kind: KindCell, Model: "m", Trace: "INT01", Scenario: "A", Branches: 100, Err: "worker died"}
+	okay := Record{Kind: KindCell, Model: "m", Trace: "INT01", Scenario: "A", Branches: 100, Window: 24, ExecDelay: 6, MPKI: 2, MPPKI: 40}
+	merged, stats, err := MergeStores([]Record{fail}, []Record{okay})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.CellsOut != 1 || merged[0].Failed() {
+		t.Fatalf("merged = %+v (stats %+v), want the success to win", merged, stats)
+	}
+}
+
+// TestMergeRefusesConflictingStores: same cell key measured under a
+// different pipeline configuration or model spec is an experiment
+// mismatch, not a mergeable union.
+func TestMergeRefusesConflictingStores(t *testing.T) {
+	base := Record{Kind: KindCell, Model: "m", Trace: "INT01", Scenario: "A", Branches: 100, Window: 24, ExecDelay: 6, MPKI: 2}
+
+	otherWindow := base
+	otherWindow.Window = 48
+	if _, _, err := MergeStores([]Record{base}, []Record{otherWindow}); err == nil || !strings.Contains(err.Error(), "disagree") {
+		t.Fatalf("window conflict not refused: %v", err)
+	}
+
+	specA, specB := base, base
+	specA.Spec = "tage:tables=9"
+	specB.Spec = "tage:tables=13"
+	if _, _, err := MergeStores([]Record{specA}, []Record{specB}); err == nil || !strings.Contains(err.Error(), "disagree") {
+		t.Fatalf("spec conflict not refused: %v", err)
+	}
+
+	// A failed record carries no pipeline config (see failedRecord) and
+	// must never manufacture a conflict.
+	failed := Record{Kind: KindCell, Model: "m", Trace: "INT01", Scenario: "A", Branches: 100, Err: "boom"}
+	if _, _, err := MergeStores([]Record{base}, []Record{failed}); err != nil {
+		t.Fatalf("failed record caused a bogus conflict: %v", err)
+	}
+}

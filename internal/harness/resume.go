@@ -257,6 +257,15 @@ func effectivePipeline(j Job) (window, execDelay int) {
 // interleave appends into one store: the second opener fails fast with a
 // clear error instead of corrupting the stream.
 func ResumeStoreFile(path string, jobs []Job, cfg Config, onPlan func(*ResumePlan) error) (*Summary, error) {
+	return ResumeStoreFileTee(path, jobs, cfg, onPlan, nil)
+}
+
+// ResumeStoreFileTee is ResumeStoreFile with every appended record
+// additionally streamed to tee (nil means none): how `bpbench serve`
+// both persists a submission into its store and streams the records
+// back over the HTTP response without double-running anything. The tee
+// sees exactly the records the store append sees, in the same order.
+func ResumeStoreFileTee(path string, jobs []Job, cfg Config, onPlan func(*ResumePlan) error, tee Sink) (*Summary, error) {
 	var head Provenance
 	if cfg.Provenance != nil {
 		head = *cfg.Provenance
@@ -299,7 +308,11 @@ func ResumeStoreFile(path string, jobs []Job, cfg Config, onPlan func(*ResumePla
 	if err := f.Truncate(validLen); err != nil {
 		return nil, err
 	}
-	return RunResume(plan, cfg, NewJSONLSink(sm.meter(f)))
+	sink := NewJSONLSink(sm.meter(f))
+	if tee != nil {
+		sink = MultiSink(sink, tee)
+	}
+	return RunResume(plan, cfg, sink)
 }
 
 // RunResume executes only the plan's Todo jobs, streaming the new cell
@@ -315,7 +328,7 @@ func RunResume(plan *ResumePlan, cfg Config, sink Sink) (*Summary, error) {
 	rm := newRunMetrics(cfg.Metrics)
 	rm.beginRun(len(plan.Jobs), sum.Skipped)
 	emit, emitErr := emitter(sum, sink, rm)
-	fresh := executeJobs(plan.Todo, cfg, rm, func(r Record) {
+	fresh := cfg.scheduler().Schedule(plan.Todo, cfg, func(r Record) {
 		if r.Failed() {
 			sum.Failed++
 		}

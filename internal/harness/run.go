@@ -2,6 +2,7 @@ package harness
 
 import (
 	"fmt"
+	"log/slog"
 	"runtime"
 	"sort"
 	"strconv"
@@ -68,6 +69,16 @@ type Config struct {
 	// CheckpointEvery is the periodic checkpoint interval in branches
 	// when WarmCache is set (zero selects DefaultCheckpointEvery).
 	CheckpointEvery uint64
+	// Scheduler, when non-nil, executes the expanded jobs in place of
+	// the in-process worker pool — the seam the distributed sweep
+	// service plugs into (see LeaseScheduler). Nil selects the local
+	// pool; every current caller is unchanged.
+	Scheduler Scheduler
+	// Log, when non-nil, receives operational diagnostics the harness
+	// would otherwise swallow (warm-cache write failures, lease-protocol
+	// chatter) at slog levels: Debug for -v detail, Warn for conditions
+	// worth surfacing. Nil keeps the harness silent, as before.
+	Log *slog.Logger
 }
 
 // DefaultCheckpointEvery is the periodic checkpoint interval (in
@@ -166,7 +177,7 @@ func RunJobs(jobs []Job, cfg Config, sink Sink) (*Summary, error) {
 	rm := newRunMetrics(cfg.Metrics)
 	rm.beginRun(len(jobs), 0)
 	emit, emitErr := emitter(sum, sink, rm)
-	results := executeJobs(jobs, cfg, rm, func(r Record) {
+	results := cfg.scheduler().Schedule(jobs, cfg, func(r Record) {
 		if r.Failed() {
 			sum.Failed++
 		}
@@ -236,7 +247,7 @@ func executeJobs(jobs []Job, cfg Config, rm *runMetrics, visit func(Record)) []R
 		cache.hits, cache.misses = rm.cacheHits, rm.cacheMisses
 		rm.poolStart = time.Now()
 	}
-	wc := newWarmCache(cfg.WarmCache, rm)
+	wc := newWarmCache(cfg.WarmCache, rm, cfg.Log)
 	results := make([]Record, len(jobs))
 	done := make([]chan struct{}, len(jobs))
 	for i := range done {

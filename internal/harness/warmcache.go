@@ -3,6 +3,7 @@ package harness
 import (
 	"fmt"
 	"hash/fnv"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"sync"
@@ -26,23 +27,42 @@ type warmCache struct {
 	dir          string
 	hashes       sync.Map // *trace.Trace -> uint64, memoised content hashes
 	hits, misses *metrics.Counter
+	writeErrs    *metrics.Counter
+	log          *slog.Logger
+	warnOnce     sync.Once
 }
 
 // newWarmCache opens (creating if needed) the blob directory. Errors
 // disable the cache rather than failing the run — callers that want
 // fail-fast behaviour (the CLIs) validate the directory up front.
-func newWarmCache(dir string, rm *runMetrics) *warmCache {
+func newWarmCache(dir string, rm *runMetrics, log *slog.Logger) *warmCache {
 	if dir == "" {
 		return nil
 	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil
 	}
-	wc := &warmCache{dir: dir}
+	wc := &warmCache{dir: dir, log: log}
 	if rm != nil {
 		wc.hits, wc.misses = rm.warmHits, rm.warmMisses
+		wc.writeErrs = rm.warmWriteErrs
 	}
 	return wc
+}
+
+// fail accounts a checkpoint blob that could not be persisted. Loads
+// stay best-effort and silent (a missing blob is just a miss), but a
+// failing save means a read-only or full cache directory is quietly
+// degrading every future run to cold starts — so it is counted in
+// bpbench_warm_cache_write_errors_total and logged once per run at
+// debug (-v) level.
+func (wc *warmCache) fail(err error) {
+	wc.writeErrs.Inc()
+	if wc.log != nil {
+		wc.warnOnce.Do(func() {
+			wc.log.Debug("warm cache writes failing; cells will cold-start", "dir", wc.dir, "err", err)
+		})
+	}
 }
 
 func (wc *warmCache) traceHash(tr *trace.Trace) uint64 {
@@ -110,6 +130,7 @@ func (wc *warmCache) save(key string, blob []byte, at uint64) {
 	enc.End()
 	tmp, err := os.CreateTemp(wc.dir, "ckpt-*.tmp")
 	if err != nil {
+		wc.fail(err)
 		return
 	}
 	name := tmp.Name()
@@ -117,10 +138,15 @@ func (wc *warmCache) save(key string, blob []byte, at uint64) {
 	cerr := tmp.Close()
 	if werr != nil || cerr != nil {
 		os.Remove(name)
+		if werr == nil {
+			werr = cerr
+		}
+		wc.fail(werr)
 		return
 	}
 	if err := os.Rename(name, wc.path(key)); err != nil {
 		os.Remove(name)
+		wc.fail(err)
 	}
 }
 

@@ -1,7 +1,12 @@
 package harness
 
 import (
+	"bytes"
+	"log/slog"
 	"os"
+	"path/filepath"
+	"strings"
+	"sync"
 	"testing"
 
 	"repro/internal/gshare"
@@ -144,4 +149,60 @@ func TestWarmCacheResumesInterruptedCell(t *testing.T) {
 				i, reSink.recs[i], refSink.recs[i])
 		}
 	}
+}
+
+// TestWarmCacheWriteErrorsCounted: a cache directory that stops
+// accepting writes (read-only, full, replaced by a file) must show up
+// in bpbench_warm_cache_write_errors_total — and log once — instead of
+// silently degrading every future run to cold starts.
+func TestWarmCacheWriteErrorsCounted(t *testing.T) {
+	reg := metrics.NewRegistry()
+	rm := newRunMetrics(reg)
+	var logBuf syncBuffer
+	log := slog.New(slog.NewTextHandler(&logBuf, &slog.HandlerOptions{Level: slog.LevelDebug}))
+	wc := newWarmCache(t.TempDir(), rm, log)
+	if wc == nil {
+		t.Fatal("newWarmCache returned nil for a good directory")
+	}
+
+	// Break the directory out from under the cache: CreateTemp now
+	// fails on every save.
+	broken := filepath.Join(t.TempDir(), "notadir")
+	if err := os.WriteFile(broken, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	wc.dir = broken
+
+	wc.save("cell-a", []byte("blob"), 1)
+	wc.save("cell-b", []byte("blob"), 2)
+	if got, _ := reg.Snapshot().Sample(MetricWarmCacheWriteErrors); got.Value != 2 {
+		t.Fatalf("write-error counter = %v, want 2", got.Value)
+	}
+	if n := strings.Count(logBuf.String(), "warm cache writes failing"); n != 1 {
+		t.Fatalf("write failure logged %d times, want exactly once:\n%s", n, logBuf.String())
+	}
+
+	// A nil logger (library embedding) and nil metrics stay safe.
+	quiet := newWarmCache(t.TempDir(), nil, nil)
+	quiet.dir = broken
+	quiet.save("cell-c", []byte("blob"), 3)
+}
+
+// syncBuffer is a mutex-guarded bytes.Buffer for handlers that may log
+// from worker goroutines.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
 }
