@@ -76,7 +76,7 @@ func BenchmarkE15Characterization(b *testing.B) { benchExperiment(b, "E15") }
 
 func benchPredictor(b *testing.B, mk func() *Model) {
 	b.ReportAllocs()
-	tr := GenerateTrace("INT04", 100000)
+	tr := MustGenerateTrace("INT04", 100000)
 	m := mk()
 	b.ResetTimer()
 	for i := 0; i < b.N; i += len(tr.Branches) {
@@ -103,6 +103,6 @@ func BenchmarkGEHLPerBranch(b *testing.B) { benchPredictor(b, GEHL520K) }
 func BenchmarkTraceGeneration(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		GenerateTrace("SERVER03", 100000)
+		MustGenerateTrace("SERVER03", 100000)
 	}
 }

@@ -52,7 +52,7 @@ func TestCheckpointResumeProperty(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			tr := GenerateTrace(trName, branches)
+			tr := MustGenerateTrace(trName, branches)
 			opt := Options{Scenario: sc, Window: 16, ExecDelay: 4}
 			want := stripResumeTiming(m.Run(tr, opt))
 
@@ -99,7 +99,7 @@ func TestCheckpointRefusesNewerFormat(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	tr := GenerateTrace("INT01", 6000)
+	tr := MustGenerateTrace("INT01", 6000)
 	opt := Options{Scenario: ScenarioA}
 	want := stripResumeTiming(m.Run(tr, opt))
 

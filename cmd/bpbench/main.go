@@ -100,7 +100,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		models      = fs.String("models", "tage", "comma-separated model specs: named models or kind:key=value,... configurations (see -list)")
 		sweep       = fs.String("sweep", "", "expand a spec field into a matrix axis: key=lo:hi (inclusive int range) or key=v1,v2,..., applied to every -models spec")
 		scenarios   = fs.String("scenarios", "A", "comma-separated update scenarii: I, A, B, C")
-		traces      = fs.String("traces", "", "comma-separated trace-name globs, e.g. 'INT*,MM05' (default: all 40)")
+		traces      = fs.String("traces", "", "comma-separated workloads: benchmark names/globs, generator specs like 'phased:period=4096#1', or 'file:path.bpt' (default: all 40 benchmarks)")
+		traceSweep  = fs.String("trace-sweep", "", "expand a workload-spec field into a matrix axis: key=lo:hi (inclusive int range) or key=v1,v2,..., applied to every -traces generator spec")
 		branches    = fs.String("branches", "200000", "comma-separated branches-per-trace lengths")
 		delta       = fs.String("delta", "", "storage-budget axis: deltaLog range 'lo:hi' (inclusive) or comma list, e.g. '-4:3' (scalable models only)")
 		resume      = fs.String("resume", "", "append-only JSONL result store: skip cells already present, append only the missing ones")
@@ -139,6 +140,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stdout, "spec kinds: ", strings.Join(repro.SpecKinds(), " "), " (e.g. 'tage:tables=9,hist=6:500', 'composed:tage+ium+lsc')")
 		fmt.Fprintln(stdout, "scalable (-delta): ", strings.Join(repro.ScalableModelNames(), " "), " plus every kind: spec")
 		fmt.Fprintln(stdout, "traces: ", strings.Join(repro.TraceNames(), " "))
+		fmt.Fprintln(stdout, "workload kinds (-traces specs):")
+		for _, l := range repro.WorkloadKindSummaries() {
+			fmt.Fprintln(stdout, "  "+l)
+		}
 		return 0
 	}
 
@@ -222,12 +227,30 @@ func run(args []string, stdout, stderr io.Writer) int {
 	// starts, so multi-field specs ride in one -models value.
 	modelSpecs := repro.SplitSpecList(*models)
 	if *sweep != "" {
-		key, values, err := parseSweep(*sweep)
+		key, values, err := parseSweep(*sweep, "-sweep", repro.SpecFieldSweepsAsRange)
 		if err != nil {
 			log.Error(fmt.Sprintf("bpbench: %v", err))
 			return 2
 		}
 		if modelSpecs, err = repro.SweepSpecs(modelSpecs, key, values); err != nil {
+			log.Error(fmt.Sprintf("bpbench: %v", err))
+			return 2
+		}
+	}
+	// Same spec-aware split on the trace axis: commas inside a generator
+	// spec's field list stay part of that spec.
+	tracePatterns := repro.SplitTraceList(*traces)
+	if *traceSweep != "" {
+		if len(tracePatterns) == 0 {
+			log.Error("bpbench: -trace-sweep rewrites generator specs; name at least one with -traces (e.g. -traces 'phased:' -trace-sweep period=1024,8192)")
+			return 2
+		}
+		key, values, err := parseSweep(*traceSweep, "-trace-sweep", repro.TraceFieldSweepsAsRange)
+		if err != nil {
+			log.Error(fmt.Sprintf("bpbench: %v", err))
+			return 2
+		}
+		if tracePatterns, err = repro.SweepTraceSpecs(tracePatterns, key, values); err != nil {
 			log.Error(fmt.Sprintf("bpbench: %v", err))
 			return 2
 		}
@@ -244,7 +267,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			}
 		}
 	}
-	m, err := repro.NewBenchMatrix(modelSpecs, splitList(*traces), *scenarios, lengths)
+	m, err := repro.NewBenchMatrix(modelSpecs, tracePatterns, *scenarios, lengths)
 	if err != nil {
 		log.Error(fmt.Sprintf("bpbench: %v", err))
 		return 2
@@ -585,26 +608,27 @@ func splitList(s string) []string {
 	return out
 }
 
-// parseSweep parses the -sweep axis: "key=lo:hi" (an inclusive integer
-// range, for fields the spec registry declares integer-valued) or
-// "key=v1,v2,..." (verbatim values — the form for fields whose values
-// themselves contain ':', like hist=6:500,6:2000).
-func parseSweep(s string) (key string, values []string, err error) {
+// parseSweep parses a sweep axis (-sweep for model specs, -trace-sweep
+// for workload specs): "key=lo:hi" (an inclusive integer range, for
+// fields the relevant registry — via rangeOK — declares
+// integer-valued) or "key=v1,v2,..." (verbatim values — the form for
+// fields whose values themselves contain ':', like hist=6:500,6:2000).
+func parseSweep(s, flagName string, rangeOK func(string) bool) (key string, values []string, err error) {
 	key, rest, ok := strings.Cut(s, "=")
 	key = strings.TrimSpace(key)
 	if !ok || key == "" || strings.TrimSpace(rest) == "" {
-		return "", nil, fmt.Errorf("bad -sweep %q (want key=lo:hi or key=v1,v2,...)", s)
+		return "", nil, fmt.Errorf("bad %s %q (want key=lo:hi or key=v1,v2,...)", flagName, s)
 	}
 	parts := splitList(rest)
-	if len(parts) == 1 && strings.Contains(parts[0], ":") && repro.SpecFieldSweepsAsRange(key) {
+	if len(parts) == 1 && strings.Contains(parts[0], ":") && rangeOK(key) {
 		lo, hi, _ := strings.Cut(parts[0], ":")
 		l, err1 := strconv.Atoi(strings.TrimSpace(lo))
 		h, err2 := strconv.Atoi(strings.TrimSpace(hi))
 		if err1 != nil || err2 != nil {
-			return "", nil, fmt.Errorf("bad -sweep range %q (want lo:hi, e.g. tables=9:13)", parts[0])
+			return "", nil, fmt.Errorf("bad %s range %q (want lo:hi, e.g. tables=9:13)", flagName, parts[0])
 		}
 		if l > h {
-			return "", nil, fmt.Errorf("bad -sweep range %q: lo %d > hi %d", parts[0], l, h)
+			return "", nil, fmt.Errorf("bad %s range %q: lo %d > hi %d", flagName, parts[0], l, h)
 		}
 		for v := l; v <= h; v++ {
 			values = append(values, strconv.Itoa(v))

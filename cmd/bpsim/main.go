@@ -39,7 +39,7 @@ func resolve(model, scenario string) (*repro.Model, repro.Scenario, error) {
 func main() {
 	model := flag.String("model", "tage", "predictor model spec: a named model or kind:key=value,... (see -list)")
 	scenario := flag.String("scenario", "A", "update scenario: I, A, B or C")
-	traceName := flag.String("trace", "", "single trace to run (default: all 40)")
+	traceName := flag.String("trace", "", "single workload to run: a benchmark name or trace spec like 'phased:period=4096#1' (default: all 40 benchmarks)")
 	branches := flag.Int("branches", 500000, "branches per trace")
 	window := flag.Int("window", 24, "in-flight branch window")
 	cellPar := flag.Int("cell-par", 1, "run traces across this many goroutines (deterministic: per-trace results are byte-identical to a serial run)")
@@ -61,6 +61,10 @@ func main() {
 	if *list {
 		fmt.Println("models: ", strings.Join(repro.ModelNames(), " "))
 		fmt.Println("traces: ", strings.Join(repro.TraceNames(), " "))
+		fmt.Println("workload kinds:")
+		for _, l := range repro.WorkloadKindSummaries() {
+			fmt.Println("  " + l)
+		}
 		return
 	}
 
@@ -105,7 +109,11 @@ func main() {
 	// (RunSuite's single shard): the predictor's tables and the simulation
 	// buffers are allocated once and Reset between traces, which is
 	// byte-identical to a fresh instance per trace.
-	results := m.RunSuite(names, *branches, opt, *cellPar)
+	results, err := m.RunSuite(names, *branches, opt, *cellPar)
+	if err != nil {
+		log.Error(fmt.Sprintf("bpsim: %v", err))
+		os.Exit(1)
+	}
 	suite := &repro.Suite{}
 	for _, res := range results {
 		suite.Add(res)

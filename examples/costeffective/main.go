@@ -17,7 +17,7 @@ func main() {
 	run := func(mk func() *repro.Model, sc repro.Scenario) float64 {
 		suite := &repro.Suite{}
 		for _, tn := range repro.TraceNames() {
-			tr := repro.GenerateTrace(tn, branchesPerTrace)
+			tr := repro.MustGenerateTrace(tn, branchesPerTrace)
 			suite.Add(mk().Run(tr, repro.Options{Scenario: sc}))
 		}
 		return suite.TotalMPPKI()

@@ -33,7 +33,7 @@ func main() {
 		for _, sc := range scenarios {
 			suite := &repro.Suite{}
 			for _, tn := range repro.TraceNames() {
-				tr := repro.GenerateTrace(tn, branchesPerTrace)
+				tr := repro.MustGenerateTrace(tn, branchesPerTrace)
 				suite.Add(mk().Run(tr, repro.Options{Scenario: sc}))
 			}
 			total := suite.TotalMPPKI()
@@ -52,7 +52,7 @@ func main() {
 	// Section 4.2 argument for single-ported banked tables.
 	suite := &repro.Suite{}
 	for _, tn := range repro.TraceNames() {
-		tr := repro.GenerateTrace(tn, branchesPerTrace)
+		tr := repro.MustGenerateTrace(tn, branchesPerTrace)
 		suite.Add(repro.ReferenceTAGE().Run(tr, repro.Options{Scenario: repro.ScenarioC}))
 	}
 	acc := suite.AccessTotals()

@@ -33,7 +33,7 @@ func main() {
 	fmt.Printf("loop branch, next 20 executions:  %d mispredicts\n", train(20))
 
 	// Whole-trace simulation with retire-time update (scenario A).
-	tr := repro.GenerateTrace("MM01", 300000)
+	tr := repro.MustGenerateTrace("MM01", 300000)
 	res := model.Run(tr, repro.Options{Scenario: repro.ScenarioA})
 	fmt.Printf("trace %s: %d branches, MPKI=%.3f, misprediction rate=%.2f%%\n",
 		res.Trace, res.Branches, res.MPKI, 100*res.Misprediction)

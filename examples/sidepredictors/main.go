@@ -25,7 +25,7 @@ func main() {
 	for i, mk := range stacks {
 		suite := &repro.Suite{}
 		for _, tn := range repro.TraceNames() {
-			tr := repro.GenerateTrace(tn, branchesPerTrace)
+			tr := repro.MustGenerateTrace(tn, branchesPerTrace)
 			suite.Add(mk().Run(tr, repro.Options{Scenario: repro.ScenarioA}))
 		}
 		total := suite.TotalMPPKI()
@@ -41,7 +41,7 @@ func main() {
 	for _, mk := range []func() *repro.Model{repro.ISLTAGE, repro.TAGELSC512K} {
 		suite := &repro.Suite{}
 		for _, tn := range repro.TraceNames() {
-			tr := repro.GenerateTrace(tn, branchesPerTrace)
+			tr := repro.MustGenerateTrace(tn, branchesPerTrace)
 			suite.Add(mk().Run(tr, repro.Options{Scenario: repro.ScenarioA}))
 		}
 		hard := suite.Subset(repro.HardTraces())

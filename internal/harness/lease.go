@@ -25,10 +25,15 @@ import (
 // string (Model holds functions and cannot travel). Its Key matches the
 // Job's, which is how completions find their way back.
 type WireJob struct {
-	Index     int    `json:"index"`
-	Model     string `json:"model"`
-	Spec      string `json:"spec,omitempty"`
-	Trace     string `json:"trace"`
+	Index int    `json:"index"`
+	Model string `json:"model"`
+	Spec  string `json:"spec,omitempty"`
+	Trace string `json:"trace"`
+	// TraceSpec is the resolvable trace-spec string when it differs
+	// from Trace (file-backed sources ship "file:<path>" while Trace
+	// carries the content hash); empty means Trace resolves itself.
+	// Workers regenerate the trace from this, deterministically.
+	TraceSpec string `json:"trace_spec,omitempty"`
 	Scenario  string `json:"scenario"`
 	Branches  int    `json:"branches"`
 	DeltaLog  int    `json:"delta_log,omitempty"`
@@ -50,6 +55,7 @@ func wireJob(j Job) WireJob {
 		Model:     j.Model.Name,
 		Spec:      j.Model.Spec,
 		Trace:     j.Spec.Name,
+		TraceSpec: traceSpecOf(j.Spec),
 		Scenario:  j.Scenario.Letter(),
 		Branches:  j.Branches,
 		DeltaLog:  j.DeltaLog,
@@ -82,9 +88,16 @@ func (w WireJob) Job(resolve ModelResolver) (Job, error) {
 		return Job{}, fmt.Errorf("harness: resolving model %q: %w", spec, err)
 	}
 	mdl.Name = w.Model
-	tr, ok := workload.Find(w.Trace)
-	if !ok {
-		return Job{}, fmt.Errorf("harness: unknown trace %q", w.Trace)
+	src := w.TraceSpec
+	if src == "" {
+		src = w.Trace
+	}
+	tr, err := workload.ResolveSpec(src)
+	if err != nil {
+		return Job{}, fmt.Errorf("harness: resolving trace %q: %w", src, err)
+	}
+	if tr.Name != w.Trace {
+		return Job{}, fmt.Errorf("harness: trace spec %q resolves to %q, but the lease names cell trace %q (did the file's contents change?)", src, tr.Name, w.Trace)
 	}
 	scs, err := ParseScenarios(w.Scenario)
 	if err != nil {
@@ -115,15 +128,16 @@ func (w WireJob) Job(resolve ModelResolver) (Job, error) {
 // delivered instead of the lease churning forever.
 func wireFailedRecord(w WireJob, err error) Record {
 	return Record{
-		Kind:     KindCell,
-		Model:    w.Model,
-		Spec:     w.Spec,
-		Trace:    w.Trace,
-		Scenario: w.Scenario,
-		Branches: w.Branches,
-		Seed:     w.Seed,
-		DeltaLog: w.DeltaLog,
-		Err:      err.Error(),
+		Kind:      KindCell,
+		Model:     w.Model,
+		Spec:      w.Spec,
+		Trace:     w.Trace,
+		TraceSpec: w.TraceSpec,
+		Scenario:  w.Scenario,
+		Branches:  w.Branches,
+		Seed:      w.Seed,
+		DeltaLog:  w.DeltaLog,
+		Err:       err.Error(),
 	}
 }
 

@@ -272,8 +272,10 @@ func (m *Matrix) modelVariants() ([]modelVariant, error) {
 	return out, nil
 }
 
-// SelectTraces resolves trace-name glob patterns (e.g. "INT*") against
-// the 40-benchmark suite; see workload.Select for the matching rules.
+// SelectTraces resolves trace patterns — benchmark-name globs
+// ("INT*"), generator specs ("phased:period=4096#1"), and file-backed
+// sources ("file:path.bpt") — against the suite and the spec grammar;
+// see workload.Select for the matching rules.
 func SelectTraces(patterns []string) ([]workload.Spec, error) {
 	return workload.Select(patterns)
 }

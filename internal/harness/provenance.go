@@ -17,10 +17,12 @@ import (
 // version 3 added the canonical model-spec field (older records are
 // upgraded on read by backfilling it from the model identifier — see
 // migrateRecord — and records from schemas newer than this constant are
-// rejected on read rather than misread). Bump this whenever a Record
-// field changes meaning, so long-lived stores can tell which revision of
-// the harness wrote each line.
-const SchemaVersion = 3
+// rejected on read rather than misread); version 4 added the trace-spec
+// field (empty means the trace identity is its own spec, which holds for
+// every record from older schemas, so no backfill is needed). Bump this
+// whenever a Record field changes meaning, so long-lived stores can tell
+// which revision of the harness wrote each line.
+const SchemaVersion = 4
 
 // Provenance records where a result came from: the source revision the
 // harness was built from, whether the tree was dirty, and the toolchain.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/sim"
+	"repro/internal/workload"
 )
 
 // Record kinds. Cell records carry one (model, trace, scenario, length)
@@ -29,12 +30,19 @@ type Record struct {
 	// filling it from the model identifier, which has always been the
 	// canonical spec for named and scaled models). PlanResume refuses to
 	// reuse a cell whose recorded spec disagrees with the requested one.
-	Spec     string `json:"spec,omitempty"`
-	Trace    string `json:"trace,omitempty"`
-	Category string `json:"category,omitempty"`
-	Scenario string `json:"scenario"`
-	Branches int    `json:"branches"`
-	Seed     uint64 `json:"seed,omitempty"`
+	Spec  string `json:"spec,omitempty"`
+	Trace string `json:"trace,omitempty"`
+	// TraceSpec is the resolvable trace-spec string behind Trace when
+	// the two differ (schema >= 4): file-backed sources record
+	// "file:<path>" here while Trace carries the content-addressed
+	// "file:<hash>" identity. Empty means Trace is its own spec, which
+	// holds for every named benchmark and generator spec — so records
+	// from earlier schemas need no migration.
+	TraceSpec string `json:"trace_spec,omitempty"`
+	Category  string `json:"category,omitempty"`
+	Scenario  string `json:"scenario"`
+	Branches  int    `json:"branches"`
+	Seed      uint64 `json:"seed,omitempty"`
 
 	// DeltaLog and StorageBits describe the storage-budget axis: the
 	// 2^deltaLog scaling applied to the model (0 outside a budget sweep —
@@ -99,6 +107,16 @@ func (r Record) Key() string {
 	}
 }
 
+// traceSpecOf extracts the Record.TraceSpec value for a workload: the
+// resolvable spec string when it differs from the trace identity, else
+// empty (the identity resolves itself).
+func traceSpecOf(s workload.Spec) string {
+	if sp := s.SpecString(); sp != s.Name {
+		return sp
+	}
+	return ""
+}
+
 // cellRecord flattens a simulation result into a cell Record.
 func cellRecord(j Job, res sim.Result) Record {
 	return Record{
@@ -106,6 +124,7 @@ func cellRecord(j Job, res sim.Result) Record {
 		Model:          j.Model.Name,
 		Spec:           j.Model.Spec,
 		Trace:          j.Spec.Name,
+		TraceSpec:      traceSpecOf(j.Spec),
 		Category:       j.Spec.Category,
 		Scenario:       j.Scenario.Letter(),
 		Branches:       j.Branches,
@@ -132,6 +151,7 @@ func failedRecord(j Job, err error) Record {
 		Model:       j.Model.Name,
 		Spec:        j.Model.Spec,
 		Trace:       j.Spec.Name,
+		TraceSpec:   traceSpecOf(j.Spec),
 		Category:    j.Spec.Category,
 		Scenario:    j.Scenario.Letter(),
 		Branches:    j.Branches,

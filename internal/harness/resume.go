@@ -7,8 +7,10 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"repro/internal/sim"
+	"repro/internal/workload"
 )
 
 // The resumable result store: a saved JSONL run is append-only, and a
@@ -98,6 +100,10 @@ func tailHasData(br *bufio.Reader) bool {
 //     always been the canonical spec for named models ("tage") and scaled
 //     variants ("tage@+2"), so it backfills Spec — letting pre-spec
 //     stores participate in spec-validated resumes.
+//   - schema < 4: the TraceSpec field did not exist, but needs no
+//     backfill — every trace identity those schemas could record (named
+//     benchmarks) is its own spec, which is exactly what an empty
+//     TraceSpec means.
 func migrateRecord(r *Record) error {
 	schema := 1 // records that predate provenance stamping
 	if r.Provenance != nil && r.Provenance.Schema > 0 {
@@ -192,6 +198,13 @@ func PlanResume(jobs []Job, prior []Record, head Provenance) *ResumePlan {
 				plan.ConfigConflicts = append(plan.ConfigConflicts, fmt.Sprintf(
 					"%s: stored model spec %q, requested %q",
 					key, r.Spec, j.Model.Spec))
+			case traceSpecMismatch(j.Spec, r):
+				// Same guard on the trace axis: the stored record was
+				// generated from a different workload description than the
+				// one this run would regenerate under the same trace name.
+				plan.ConfigConflicts = append(plan.ConfigConflicts, fmt.Sprintf(
+					"%s: stored trace spec %q, requested %q",
+					key, storedTraceSpec(r), j.Spec.SpecString()))
 			default:
 				if w := driftWarning(key, r.Provenance, head); w != "" {
 					plan.ProvenanceDrift = append(plan.ProvenanceDrift, w)
@@ -203,6 +216,28 @@ func PlanResume(jobs []Job, prior []Record, head Provenance) *ResumePlan {
 		plan.Todo = append(plan.Todo, j)
 	}
 	return plan
+}
+
+// storedTraceSpec is the resolvable trace spec a record was generated
+// from: the explicit TraceSpec when present, else the trace identity
+// itself (named benchmarks and generator specs resolve themselves).
+func storedTraceSpec(r Record) string {
+	if r.TraceSpec != "" {
+		return r.TraceSpec
+	}
+	return r.Trace
+}
+
+// traceSpecMismatch reports whether a stored record's workload
+// description disagrees with the requested job's. File-backed traces
+// are exempt: their trace identity is the content hash, which already
+// pins the exact branch stream, and the spec is just the path it was
+// loaded from — legitimately different across hosts.
+func traceSpecMismatch(s workload.Spec, r Record) bool {
+	if strings.HasPrefix(r.Trace, "file:") {
+		return false
+	}
+	return storedTraceSpec(r) != s.SpecString()
 }
 
 // driftWarning describes why a reused record's provenance cannot be

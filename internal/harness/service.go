@@ -49,7 +49,7 @@ type Service struct {
 // the coordinator's ModelResolver).
 type SweepRequest struct {
 	Models    []string `json:"models"`
-	Traces    []string `json:"traces,omitempty"`    // trace-name globs; empty = all
+	Traces    []string `json:"traces,omitempty"`    // trace names, globs, or specs; empty = all
 	Scenarios string   `json:"scenarios,omitempty"` // comma-separated letters; empty = "A"
 	Branches  []int    `json:"branches,omitempty"`  // lengths; empty = {200000}
 	DeltaLogs []int    `json:"delta_logs,omitempty"`

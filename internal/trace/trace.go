@@ -13,6 +13,8 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
+	"sort"
 )
 
 // Branch is one dynamic conditional branch on the correct path.
@@ -316,17 +318,39 @@ type Stats struct {
 	MicroOps       uint64
 	TakenFraction  float64
 	StaticBranches int
+	// Top10Coverage is the fraction of dynamic branches contributed by
+	// the 10 hottest static sites (1.0 when the trace has <= 10 sites):
+	// a footprint measure separating kernel-like traces from
+	// dispatch-heavy ones.
+	Top10Coverage float64
+	// TransitionEntropy is the first-order Markov entropy of the
+	// direction stream in bits — H(next direction | current direction)
+	// over consecutive branch pairs. 0 means the next direction is
+	// fully determined by the current one; 1 means it carries no
+	// information (coin-flip transitions).
+	TransitionEntropy float64
 }
 
 // Summarize computes summary statistics for a trace.
 func Summarize(t *Trace) Stats {
 	taken := 0
-	static := make(map[uint64]struct{})
-	for _, b := range t.Branches {
+	static := make(map[uint64]int)
+	var bigram [2][2]int
+	for i, b := range t.Branches {
 		if b.Taken {
 			taken++
 		}
-		static[b.PC] = struct{}{}
+		static[b.PC]++
+		if i > 0 {
+			from, to := 0, 0
+			if t.Branches[i-1].Taken {
+				from = 1
+			}
+			if b.Taken {
+				to = 1
+			}
+			bigram[from][to]++
+		}
 	}
 	s := Stats{
 		Branches:       len(t.Branches),
@@ -335,6 +359,37 @@ func Summarize(t *Trace) Stats {
 	}
 	if s.Branches > 0 {
 		s.TakenFraction = float64(taken) / float64(s.Branches)
+		counts := make([]int, 0, len(static))
+		for _, c := range static {
+			counts = append(counts, c)
+		}
+		sort.Sort(sort.Reverse(sort.IntSlice(counts)))
+		top := 0
+		for i, c := range counts {
+			if i == 10 {
+				break
+			}
+			top += c
+		}
+		s.Top10Coverage = float64(top) / float64(s.Branches)
+	}
+	if pairs := s.Branches - 1; pairs > 0 {
+		var h float64
+		for from := 0; from < 2; from++ {
+			row := bigram[from][0] + bigram[from][1]
+			if row == 0 {
+				continue
+			}
+			var rowH float64
+			for to := 0; to < 2; to++ {
+				if c := bigram[from][to]; c > 0 {
+					p := float64(c) / float64(row)
+					rowH -= p * math.Log2(p)
+				}
+			}
+			h += float64(row) / float64(pairs) * rowH
+		}
+		s.TransitionEntropy = h
 	}
 	return s
 }

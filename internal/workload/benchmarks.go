@@ -4,11 +4,17 @@ import (
 	"fmt"
 	"path"
 	"sort"
+	"strings"
 
 	"repro/internal/trace"
 )
 
-// Spec identifies one synthetic benchmark trace.
+// Spec identifies one workload: a named synthetic benchmark, a resolved
+// generator spec, or a file-backed external trace. Name is the trace
+// identity everywhere (cell keys, store records, warm-cache keys); for
+// named benchmarks it is the benchmark name, for generator specs the
+// canonical spec string, and for file sources the content-addressed
+// "file:<hash>" form.
 type Spec struct {
 	Name     string
 	Category string
@@ -16,6 +22,23 @@ type Spec struct {
 	// Hard marks the seven high-misprediction traces of Section 2.2.
 	Hard  bool
 	build func(b *builder) node
+	// spec, when set, is the resolvable spec string behind a Name that
+	// is not itself resolvable — file sources record "file:<path>" here
+	// while Name carries the content hash.
+	spec string
+	// gen, when set, bypasses program building entirely (file-backed
+	// sources replay loaded branches).
+	gen func(branches int) *trace.Trace
+}
+
+// SpecString returns the resolvable spec string for this workload:
+// ResolveSpec(s.SpecString()) rebuilds an equivalent Spec. For named
+// benchmarks and generator kinds this is just Name.
+func (s Spec) SpecString() string {
+	if s.spec != "" {
+		return s.spec
+	}
+	return s.Name
 }
 
 // HardNames lists the paper's seven high-misprediction-rate benchmarks
@@ -67,18 +90,30 @@ func Find(name string) (Spec, bool) {
 	return Spec{}, false
 }
 
-// Select resolves trace-name glob patterns (e.g. "INT*") against the
-// suite, preserving suite order and deduplicating across overlapping
-// patterns. No patterns selects the whole suite; a pattern that matches
-// no benchmark is an error, so a typo fails loudly instead of silently
-// shrinking a sweep.
+// Select resolves trace patterns against the suite and the spec
+// grammar: a pattern containing ':' is a trace spec (generator kind or
+// "file:path.bpt") resolved via ResolveSpec; anything else is a
+// benchmark-name glob (e.g. "INT*"). Glob matches come first in suite
+// order, then spec-resolved workloads in pattern order, deduplicated by
+// trace identity. No patterns selects the whole suite; a pattern that
+// matches nothing is an error with near-miss suggestions, so a typo
+// fails loudly instead of silently shrinking a sweep.
 func Select(patterns []string) ([]Spec, error) {
 	all := All()
 	if len(patterns) == 0 {
 		return all, nil
 	}
 	matched := make(map[string]bool)
+	var specs []Spec // resolved (non-glob) workloads, pattern order
 	for _, p := range patterns {
+		if strings.ContainsRune(p, ':') {
+			sp, err := ResolveSpec(p)
+			if err != nil {
+				return nil, err
+			}
+			specs = append(specs, sp)
+			continue
+		}
 		hit := false
 		for _, s := range all {
 			ok, err := path.Match(p, s.Name)
@@ -91,7 +126,18 @@ func Select(patterns []string) ([]Spec, error) {
 			}
 		}
 		if !hit {
-			return nil, fmt.Errorf("workload: trace pattern %q matches no benchmark", p)
+			// Non-glob misses may still be valid specs (a generator
+			// kind misspelled, or a name typo): route through the
+			// spec parser for its richer diagnostics.
+			if !strings.ContainsAny(p, "*?[") {
+				sp, err := ResolveSpec(p)
+				if err != nil {
+					return nil, err
+				}
+				specs = append(specs, sp)
+				continue
+			}
+			return nil, unknownNameError(p)
 		}
 	}
 	var out []Spec
@@ -100,11 +146,23 @@ func Select(patterns []string) ([]Spec, error) {
 			out = append(out, s)
 		}
 	}
+	for _, sp := range specs {
+		if !matched[sp.Name] {
+			matched[sp.Name] = true
+			out = append(out, sp)
+		}
+	}
 	return out, nil
 }
 
-// Generate materialises `branches` branches of the benchmark.
+// Generate materialises `branches` branches of the workload. For
+// generated workloads (named benchmarks and generator specs) the result
+// is a pure function of (Seed, branches); file-backed workloads replay
+// their loaded branches.
 func Generate(spec Spec, branches int) *trace.Trace {
+	if spec.gen != nil {
+		return spec.gen(branches)
+	}
 	b := newBuilder(spec.Seed)
 	program := spec.build(b)
 	e := &emitter{env: newEnv(b.r.Fork(0xeeee)), limit: branches}

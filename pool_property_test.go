@@ -69,7 +69,7 @@ func TestPooledRunnerMatchesFreshAcrossSpecs(t *testing.T) {
 				sc := scenarios[rng.Intn(len(scenarios))]
 				name := names[rng.Intn(len(names))]
 				opt := Options{Scenario: sc, Window: 16 + 8*rng.Intn(2)}
-				tr := GenerateTrace(name, 1500+rng.Intn(1500))
+				tr := MustGenerateTrace(name, 1500+rng.Intn(1500))
 				pooled := normalize(run(tr, opt))
 				fresh := normalize(m.Run(tr, opt))
 				if !reflect.DeepEqual(pooled, fresh) {
@@ -92,9 +92,15 @@ func TestRunSuiteShardingZeroMovement(t *testing.T) {
 			t.Fatal(err)
 		}
 		opt := Options{Scenario: ScenarioA, Window: 24}
-		serial := m.RunSuite(names, 2500, opt, 1)
+		serial, err := m.RunSuite(names, 2500, opt, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
 		for _, workers := range []int{2, 4, len(names), len(names) + 9} {
-			par := m.RunSuite(names, 2500, opt, workers)
+			par, err := m.RunSuite(names, 2500, opt, workers)
+			if err != nil {
+				t.Fatal(err)
+			}
 			if len(par) != len(serial) {
 				t.Fatalf("%s workers=%d: %d results, want %d", modelName, workers, len(par), len(serial))
 			}

@@ -12,7 +12,7 @@
 // predictor Model, generate (or load) traces, and run simulations.
 //
 //	model := repro.TAGELSC512K()
-//	tr := repro.GenerateTrace("INT01", 1_000_000)
+//	tr := repro.MustGenerateTrace("INT01", 1_000_000)
 //	res := model.Run(tr, repro.Options{Scenario: repro.ScenarioA})
 //	fmt.Println(res.MPKI, res.MPPKI)
 //

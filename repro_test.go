@@ -59,7 +59,7 @@ func TestSessionTrainWithoutPredict(t *testing.T) {
 
 func TestRunIsColdPerCall(t *testing.T) {
 	m := ReferenceTAGE()
-	tr := GenerateTrace("WS01", 30000)
+	tr := MustGenerateTrace("WS01", 30000)
 	a := m.Run(tr, Options{Scenario: ScenarioA})
 	b := m.Run(tr, Options{Scenario: ScenarioA})
 	if a.Mispredicts != b.Mispredicts {
@@ -90,7 +90,7 @@ func TestTraceNamesComplete(t *testing.T) {
 }
 
 func TestTraceRoundTripThroughFacade(t *testing.T) {
-	tr := GenerateTrace("CLIENT01", 5000)
+	tr := MustGenerateTrace("CLIENT01", 5000)
 	var buf bytes.Buffer
 	if err := WriteTrace(&buf, tr); err != nil {
 		t.Fatal(err)
@@ -124,7 +124,7 @@ func TestAccuracyOrderingSmall(t *testing.T) {
 	run := func(mk func() *Model) float64 {
 		suite := &Suite{}
 		for _, tn := range TraceNames() {
-			suite.Add(mk().Run(GenerateTrace(tn, n), Options{Scenario: ScenarioA}))
+			suite.Add(mk().Run(MustGenerateTrace(tn, n), Options{Scenario: ScenarioA}))
 		}
 		return suite.TotalMPPKI()
 	}

@@ -124,7 +124,7 @@ func TestNamedSpecsRoundTrip(t *testing.T) {
 // config-equality check cares about (timing excluded).
 func runShort(t *testing.T, m *Model) [4]float64 {
 	t.Helper()
-	tr := GenerateTrace("INT01", 4000)
+	tr := MustGenerateTrace("INT01", 4000)
 	res := m.Run(tr, Options{Scenario: ScenarioA})
 	return [4]float64{res.MPKI, res.MPPKI, float64(res.Mispredicts), float64(res.MicroOps)}
 }
@@ -358,7 +358,7 @@ func TestSpecBuildArbitrary(t *testing.T) {
 		if m.StorageBits() <= 0 {
 			t.Fatalf("%s: storage %d", s, m.StorageBits())
 		}
-		tr := GenerateTrace("INT01", 2000)
+		tr := MustGenerateTrace("INT01", 2000)
 		res := m.Run(tr, Options{Scenario: ScenarioA})
 		if res.Branches == 0 {
 			t.Fatalf("%s: simulated 0 branches", s)

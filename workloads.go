@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"fmt"
 	"io"
 	"sync"
 
@@ -29,25 +30,50 @@ func HardTraces() map[string]bool {
 	return out
 }
 
-// GenerateTrace synthesises `branches` branches of the named benchmark
-// deterministically. It panics on an unknown name (see TraceNames).
-func GenerateTrace(name string, branches int) *Trace {
-	tr, err := workload.GenerateByName(name, branches)
+// GenerateTrace materialises `branches` branches of a workload
+// deterministically. The spec may be a benchmark name ("INT01"), a
+// generator spec ("phased:period=4096#1" — see WorkloadKinds), or an
+// external trace ("file:path.bpt"). Errors on an unknown or malformed
+// spec or a non-positive branch count.
+func GenerateTrace(spec string, branches int) (*Trace, error) {
+	if branches <= 0 {
+		return nil, fmt.Errorf("repro: branches must be positive, got %d", branches)
+	}
+	sp, err := workload.ResolveSpec(spec)
+	if err != nil {
+		return nil, err
+	}
+	return workload.Generate(sp, branches), nil
+}
+
+// MustGenerateTrace is GenerateTrace panicking on error — for examples
+// and tests where the spec is a known-good literal.
+func MustGenerateTrace(spec string, branches int) *Trace {
+	tr, err := GenerateTrace(spec, branches)
 	if err != nil {
 		panic(err)
 	}
 	return tr
 }
 
-// RunSuite simulates the model over each named synthetic trace of
-// `branches` branches, sharding the names across `workers` goroutines
-// (the bpsim -cell-par knob). Shard s owns names s, s+workers, ... and
-// runs them on one pooled instance, generating its own traces and
-// resetting the predictor between them — every trace still starts
-// cold, so each Result is byte-identical to a serial GenerateTrace +
-// Run loop for any worker count. Results come back in input order.
-// workers outside [1, len(names)] is clamped.
-func (m *Model) RunSuite(names []string, branches int, opt Options, workers int) []Result {
+// RunSuite simulates the model over each listed workload (names or
+// trace specs) at `branches` branches, sharding the list across
+// `workers` goroutines (the bpsim -cell-par knob). Shard s owns
+// entries s, s+workers, ... and runs them on one pooled instance,
+// generating its own traces and resetting the predictor between them —
+// every trace still starts cold, so each Result is byte-identical to a
+// serial GenerateTrace + Run loop for any worker count. Results come
+// back in input order. workers outside [1, len(names)] is clamped. All
+// specs are resolved up front, so a typo fails before any simulation.
+func (m *Model) RunSuite(names []string, branches int, opt Options, workers int) ([]Result, error) {
+	specs := make([]workload.Spec, len(names))
+	for i, n := range names {
+		sp, err := workload.ResolveSpec(n)
+		if err != nil {
+			return nil, err
+		}
+		specs[i] = sp
+	}
 	results := make([]Result, len(names))
 	if workers < 1 {
 		workers = 1
@@ -57,13 +83,13 @@ func (m *Model) RunSuite(names []string, branches int, opt Options, workers int)
 	}
 	runShard := func(s int) {
 		run := m.NewRunner()
-		for i := s; i < len(names); i += workers {
-			results[i] = run(GenerateTrace(names[i], branches), opt)
+		for i := s; i < len(specs); i += workers {
+			results[i] = run(workload.Generate(specs[i], branches), opt)
 		}
 	}
 	if workers == 1 {
 		runShard(0)
-		return results
+		return results, nil
 	}
 	var wg sync.WaitGroup
 	for s := 0; s < workers; s++ {
@@ -74,8 +100,47 @@ func (m *Model) RunSuite(names []string, branches int, opt Options, workers int)
 		}(s)
 	}
 	wg.Wait()
-	return results
+	return results, nil
 }
+
+// WorkloadKinds lists the parameterised workload generator kinds the
+// trace-spec grammar accepts (loopy, callret, datadep, phased,
+// ctxflush, mix).
+func WorkloadKinds() []string { return workload.Kinds() }
+
+// WorkloadKindSummaries renders one line per workload kind — its fields
+// with defaults and what it generates — for CLI listings.
+func WorkloadKindSummaries() []string { return workload.KindSummaries() }
+
+// SplitTraceList splits a comma-separated -traces flag value into
+// patterns the spec-aware way: commas inside a generator spec's field
+// list stay part of that spec.
+func SplitTraceList(s string) []string { return workload.SplitPatterns(s) }
+
+// SweepTraceSpecs expands one generator field across values for every
+// base trace spec (the bpbench -trace-sweep axis), returning canonical
+// spec strings and erroring on duplicates.
+func SweepTraceSpecs(bases []string, key string, values []string) ([]string, error) {
+	return workload.SweepSpecs(bases, key, values)
+}
+
+// TraceFieldSweepsAsRange reports whether -trace-sweep may expand the
+// field from an inclusive lo:hi integer range.
+func TraceFieldSweepsAsRange(key string) bool { return workload.FieldSweepsAsRange(key) }
+
+// TraceConvertStats reports what an external-trace conversion consumed
+// and kept.
+type TraceConvertStats = trace.ConvertStats
+
+// ConvertTrace parses an external text trace (see TraceConvertFormats)
+// into a Trace ready for WriteTrace — the `tracegen convert` engine.
+func ConvertTrace(r io.Reader, format, name string) (*Trace, TraceConvertStats, error) {
+	return trace.Convert(r, format, name)
+}
+
+// TraceConvertFormats lists the external trace formats ConvertTrace
+// accepts.
+func TraceConvertFormats() []string { return trace.ConvertFormats() }
 
 // WriteTrace encodes a trace in the compact binary format.
 func WriteTrace(w io.Writer, tr *Trace) error { return trace.Write(w, tr) }
